@@ -1,0 +1,1 @@
+"""Benchmark package: one target per paper table/figure plus ablations."""

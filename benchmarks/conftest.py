@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures (or an
+ablation) exactly once per run (``benchmark.pedantic`` with a single round —
+these are experiment harnesses, not micro-benchmarks), prints the rendered
+table so ``pytest benchmarks/ --benchmark-only -s`` reproduces the paper's
+rows, and stores the headline numbers in ``benchmark.extra_info`` so they are
+kept in the benchmark JSON.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def run_once(benchmark, func: Callable, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def record_table(benchmark, table) -> None:
+    """Print a reproduced table and stash its records in extra_info."""
+    print()
+    print(table.render())
+    benchmark.extra_info["table"] = table.name
+    benchmark.extra_info["records"] = [
+        {key: (round(value, 4) if isinstance(value, float) else value)
+         for key, value in record.items()}
+        for record in table.records
+    ]

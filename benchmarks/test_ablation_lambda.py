@@ -1,0 +1,74 @@
+"""Ablation: objective composition as the trade-off λ sweeps.
+
+The paper observes (Section 7.1) that as N grows the dispersion term
+dominates the objective because it is supermodular — the number of pairs
+grows quadratically in p.  This ablation quantifies the quality/dispersion
+split of Greedy B's solution across λ and p, and checks the qualitative
+statement: the dispersion share grows with both λ and p.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.core.greedy import greedy_diversify
+from repro.data.synthetic import make_synthetic_instance
+from repro.experiments.reporting import format_table
+
+
+def _sweep(n, p_values, tradeoffs, seed):
+    rows = []
+    instance_cache = {}
+    for tradeoff in tradeoffs:
+        for p in p_values:
+            if tradeoff not in instance_cache:
+                instance_cache[tradeoff] = make_synthetic_instance(
+                    n, tradeoff=tradeoff, seed=seed
+                )
+            instance = instance_cache[tradeoff]
+            result = greedy_diversify(instance.objective, p)
+            dispersion_part = tradeoff * result.dispersion_value
+            share = dispersion_part / result.objective_value if result.objective_value else 0.0
+            rows.append(
+                {
+                    "lambda": tradeoff,
+                    "p": p,
+                    "quality": result.quality_value,
+                    "weighted_dispersion": dispersion_part,
+                    "dispersion_share": share,
+                }
+            )
+    return rows
+
+
+def test_ablation_lambda_composition(benchmark):
+    rows = run_once(
+        benchmark, _sweep, n=100, p_values=(5, 15, 30), tradeoffs=(0.05, 0.2, 1.0), seed=99
+    )
+    print()
+    print(
+        format_table(
+            ["lambda", "p", "quality", "weighted_dispersion", "dispersion_share"],
+            [
+                [r["lambda"], r["p"], r["quality"], r["weighted_dispersion"], r["dispersion_share"]]
+                for r in rows
+            ],
+            title="Ablation: quality vs dispersion share of Greedy B's objective",
+        )
+    )
+    benchmark.extra_info["rows"] = [
+        {k: round(v, 4) for k, v in row.items()} for row in rows
+    ]
+
+    # Dispersion share grows with p for each λ, and with λ for each p.
+    by_lambda = {}
+    for row in rows:
+        by_lambda.setdefault(row["lambda"], []).append((row["p"], row["dispersion_share"]))
+    for shares in by_lambda.values():
+        ordered = [share for _, share in sorted(shares)]
+        assert all(b >= a - 1e-9 for a, b in zip(ordered, ordered[1:]))
+    by_p = {}
+    for row in rows:
+        by_p.setdefault(row["p"], []).append((row["lambda"], row["dispersion_share"]))
+    for shares in by_p.values():
+        ordered = [share for _, share in sorted(shares)]
+        assert all(b >= a - 1e-9 for a, b in zip(ordered, ordered[1:]))

@@ -1,0 +1,107 @@
+"""Ablation benches for the two extension algorithms.
+
+* **Streaming vs offline** — how much objective value the one-pass streaming
+  diversifier gives up relative to the offline Greedy B and the optimum,
+  and how many swaps it performs (the quantity Minack et al. optimize).
+* **Knapsack greedy vs exact** — the empirical approximation factor of the
+  cost-benefit greedy (with and without partial enumeration) on random
+  budgets, addressing the paper's open question experimentally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.exact import exact_diversify
+from repro.core.greedy import greedy_diversify
+from repro.core.knapsack import exact_knapsack_diversify, knapsack_greedy
+from repro.core.streaming import streaming_diversify
+from repro.data.synthetic import make_synthetic_instance
+from repro.experiments.reporting import format_table
+from repro.utils.rng import derive_seed, make_rng
+
+
+def _streaming_sweep(n, p, trials, seed):
+    rows = []
+    for trial in range(trials):
+        instance = make_synthetic_instance(n, seed=derive_seed(seed, trial))
+        objective = instance.objective
+        offline = greedy_diversify(objective, p).objective_value
+        order = [int(x) for x in make_rng(derive_seed(seed, 100 + trial)).permutation(n)]
+        online = streaming_diversify(objective, p, order)
+        rows.append(
+            {
+                "trial": trial,
+                "offline_greedy": offline,
+                "streaming": online.objective_value,
+                "streaming_over_offline": online.objective_value / offline,
+                "swaps": online.metadata["swaps"],
+            }
+        )
+    return rows
+
+
+def test_ablation_streaming_vs_offline(benchmark):
+    rows = run_once(benchmark, _streaming_sweep, n=200, p=15, trials=4, seed=55)
+    print()
+    print(
+        format_table(
+            ["trial", "offline_greedy", "streaming", "streaming_over_offline", "swaps"],
+            [
+                [r["trial"], r["offline_greedy"], r["streaming"], r["streaming_over_offline"], r["swaps"]]
+                for r in rows
+            ],
+            title="Ablation: one-pass streaming vs offline Greedy B (N=200, p=15)",
+        )
+    )
+    benchmark.extra_info["rows"] = [
+        {k: (round(v, 4) if isinstance(v, float) else v) for k, v in row.items()}
+        for row in rows
+    ]
+    for row in rows:
+        # The one-pass solution stays within a modest factor of offline greedy.
+        assert row["streaming_over_offline"] >= 0.85
+        # ...without an excessive number of swaps.
+        assert row["swaps"] <= 200
+
+
+def _knapsack_sweep(n, trials, seed):
+    rows = []
+    for trial in range(trials):
+        instance = make_synthetic_instance(n, seed=derive_seed(seed, trial))
+        objective = instance.objective
+        rng = make_rng(derive_seed(seed, 200 + trial))
+        costs = rng.uniform(0.5, 2.0, size=n)
+        budget = float(np.sum(np.sort(costs)[:4]))  # roughly a 4-element budget
+        plain = knapsack_greedy(objective, costs, budget)
+        enumerated = knapsack_greedy(objective, costs, budget, partial_enumeration_size=2)
+        optimum = exact_knapsack_diversify(objective, costs, budget)
+        rows.append(
+            {
+                "trial": trial,
+                "AF_plain": optimum.objective_value / max(plain.objective_value, 1e-12),
+                "AF_enum2": optimum.objective_value / max(enumerated.objective_value, 1e-12),
+            }
+        )
+    return rows
+
+
+def test_ablation_knapsack_greedy_factor(benchmark):
+    rows = run_once(benchmark, _knapsack_sweep, n=14, trials=4, seed=66)
+    print()
+    print(
+        format_table(
+            ["trial", "AF_plain", "AF_enum2"],
+            [[r["trial"], r["AF_plain"], r["AF_enum2"]] for r in rows],
+            title="Ablation: knapsack greedy vs exact optimum (OPT / ALG)",
+        )
+    )
+    benchmark.extra_info["rows"] = [
+        {k: (round(v, 4) if isinstance(v, float) else v) for k, v in row.items()}
+        for row in rows
+    ]
+    for row in rows:
+        # Empirically well within factor 2; partial enumeration never hurts.
+        assert row["AF_plain"] <= 2.0 + 1e-9
+        assert row["AF_enum2"] <= row["AF_plain"] + 1e-9

@@ -1,0 +1,49 @@
+"""Benchmark: the Appendix's bad instance for greedy under a partition matroid.
+
+Paper reference: the greedy algorithm's approximation ratio on this family is
+unbounded (grows with r), while the local search of Theorem 2 stays within
+its factor-2 guarantee.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.appendix import appendix_bad_instance, run_appendix_comparison
+from repro.experiments.reporting import format_table
+
+
+def _sweep(r_values):
+    rows = []
+    for r in r_values:
+        comparison = run_appendix_comparison(appendix_bad_instance(r=r))
+        rows.append(
+            {
+                "r": r,
+                "greedy_ratio": comparison["greedy_ratio"],
+                "local_search_ratio": comparison["local_search_ratio"],
+            }
+        )
+    return rows
+
+
+def test_appendix_greedy_unbounded_local_search_bounded(benchmark):
+    rows = run_once(benchmark, _sweep, (6, 10, 20, 40))
+    print()
+    print(
+        format_table(
+            ["r", "greedy_ratio", "local_search_ratio"],
+            [[row["r"], row["greedy_ratio"], row["local_search_ratio"]] for row in rows],
+            title="Appendix: partition-matroid bad instance",
+        )
+    )
+    benchmark.extra_info["rows"] = [
+        {k: round(v, 3) if isinstance(v, float) else v for k, v in row.items()}
+        for row in rows
+    ]
+
+    ratios = [row["greedy_ratio"] for row in rows]
+    # Greedy degrades without bound as r grows...
+    assert all(b > a for a, b in zip(ratios, ratios[1:]))
+    assert ratios[-1] > 5.0
+    # ...while local search stays within its guarantee.
+    assert all(row["local_search_ratio"] <= 2.0 + 1e-6 for row in rows)

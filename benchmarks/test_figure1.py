@@ -1,0 +1,41 @@
+"""Benchmark: reproduce Figure 1 (approximation ratio under dynamic updates).
+
+Paper reference shape: for all three perturbation environments (V / E / M)
+the worst ratio maintained by a single oblivious update per perturbation is
+well below the provable 3 (the paper observes ≈ 1.11 at worst), and the
+curves decrease towards 1 for λ ≳ 0.6.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.dynamic_fig import figure1
+
+
+def test_figure1_dynamic_update_ratio(benchmark):
+    result = run_once(
+        benchmark,
+        figure1,
+        n=15,
+        p=5,
+        tradeoffs=(0.1, 0.2, 0.4, 0.6, 0.8, 1.0),
+        steps=10,
+        repeats=15,
+        seed=2019,
+    )
+    print()
+    print(result.render())
+    benchmark.extra_info["curves"] = {
+        name: {str(k): round(v, 4) for k, v in curve.items()}
+        for name, curve in result.curves.items()
+    }
+
+    worst = result.worst_overall()
+    # Far below the provable bound of 3 (the paper observes about 1.11).
+    assert worst <= 1.5
+    for curve in result.curves.values():
+        # Ratios at large λ are no worse than (slightly above) the small-λ ones:
+        # the dispersion term dominates and the update rule tracks it closely.
+        high_lambda = max(curve[k] for k in (0.8, 1.0))
+        low_lambda = max(curve[k] for k in (0.1, 0.2))
+        assert high_lambda <= low_lambda + 0.05

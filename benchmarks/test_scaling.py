@@ -1,0 +1,49 @@
+"""Micro-benchmarks: scaling of the core algorithms with the universe size.
+
+These complement the table reproductions with conventional pytest-benchmark
+timings (multiple rounds) of the two greedy algorithms and the incremental
+distance tracker, backing the complexity discussion after Theorem 1
+(Greedy B is O(np) thanks to the marginal-distance bookkeeping, Greedy A
+iterates over edges).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baselines import gollapudi_sharma_greedy
+from repro.core.greedy import greedy_diversify
+from repro.data.synthetic import make_synthetic_instance
+from repro.metrics.aggregates import MarginalDistanceTracker
+
+
+@pytest.fixture(scope="module")
+def instance_300():
+    return make_synthetic_instance(300, seed=31)
+
+
+def test_scaling_greedy_b(benchmark, instance_300):
+    objective = instance_300.objective
+    result = benchmark(lambda: greedy_diversify(objective, 30))
+    assert result.size == 30
+
+
+def test_scaling_greedy_a(benchmark, instance_300):
+    objective = instance_300.objective
+    result = benchmark(lambda: gollapudi_sharma_greedy(objective, 30))
+    assert result.size == 30
+
+
+def test_scaling_tracker_updates(benchmark, instance_300):
+    metric = instance_300.metric
+
+    def run():
+        tracker = MarginalDistanceTracker(metric)
+        for element in range(0, 300, 10):
+            tracker.add(element)
+        for element in range(0, 300, 10):
+            tracker.remove(element)
+        return tracker
+
+    tracker = benchmark(run)
+    assert len(tracker) == 0

@@ -1,0 +1,25 @@
+"""Benchmark: reproduce Table 6 (AF of both greedies averaged over 5 LETOR-like queries).
+
+Paper reference shape: averaged over queries Greedy B's factor stays within a
+few per-cent of optimal (1.00–1.02) and is consistently at least as good as
+Greedy A's (1.01–1.10, worsening slightly with p).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_table, run_once
+from repro.experiments.tables import table6
+
+
+def test_table6_letor_multi_query_top50(benchmark):
+    table = run_once(
+        benchmark, table6, num_queries=5, top_k=50, p_values=(3, 4, 5, 6, 7), seed=2017
+    )
+    record_table(benchmark, table)
+
+    for record in table.records:
+        assert 1.0 - 1e-9 <= record["AF_GreedyB"] <= 2.0
+        assert 1.0 - 1e-9 <= record["AF_GreedyA"] <= 2.0
+    mean_b = sum(r["AF_GreedyB"] for r in table.records) / len(table.records)
+    mean_a = sum(r["AF_GreedyA"] for r in table.records) / len(table.records)
+    assert mean_b <= mean_a + 0.01

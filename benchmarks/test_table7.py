@@ -1,0 +1,28 @@
+"""Benchmark: reproduce Table 7 (relative factors and timings averaged over queries).
+
+Paper reference shape: the Greedy-B-over-Greedy-A advantage grows with p
+(1.005 → ~1.15), LS adds at most ~0.3 %, and Greedy B is several times
+faster than Greedy A.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_table, run_once
+from repro.experiments.tables import table7
+
+
+def test_table7_letor_multi_query_all_docs(benchmark):
+    table = run_once(
+        benchmark,
+        table7,
+        num_queries=5,
+        docs_per_query=370,
+        p_values=(5, 15, 25, 40, 55, 75),
+        seed=2018,
+    )
+    record_table(benchmark, table)
+
+    for record in table.records:
+        assert record["AF_B/A"] >= 0.99
+        assert record["AF_LS/B"] >= 1.0 - 1e-9
+        assert record["AF_LS/B"] <= 1.1

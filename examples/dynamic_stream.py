@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Dynamic updates: maintaining a diverse result set while the data changes.
+
+Section 6 of the paper studies the setting where element weights and pairwise
+distances change over time and the solution must be repaired with as few
+swaps as possible.  This example seeds a solution with Greedy B (a
+2-approximation), then streams random perturbations through the
+DynamicDiversifier, applying the oblivious single-swap update rule after each
+one, and reports:
+
+* how often the update rule actually swapped,
+* the objective trajectory, and
+* (for the default small instance) the exact approximation ratio after every
+  step — the quantity Figure 1 plots, which stays far below the provable 3.
+
+Run:  python examples/dynamic_stream.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import (
+    DistanceDecrease,
+    DistanceIncrease,
+    DynamicDiversifier,
+    WeightDecrease,
+    WeightIncrease,
+    make_synthetic_instance,
+)
+
+
+def random_perturbation(engine, rng):
+    """Reset a random weight or a random distance, as in Section 7.3's MPERTURBATION."""
+    if rng.uniform() < 0.5:
+        element = int(rng.integers(0, engine.n))
+        target = float(rng.uniform(0.0, 1.0))
+        delta = target - engine.weight(element)
+        if delta > 1e-9:
+            return WeightIncrease(element, delta)
+        if delta < -1e-9:
+            return WeightDecrease(element, -delta)
+        return None
+    u, v = map(int, rng.choice(engine.n, size=2, replace=False))
+    target = float(rng.uniform(1.0, 2.0))
+    delta = target - engine.distance(u, v)
+    if delta > 1e-9:
+        return DistanceIncrease(u, v, delta)
+    if delta < -1e-9:
+        return DistanceDecrease(u, v, -delta)
+    return None
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="fewer steps / smaller instance")
+    parser.add_argument("--n", type=int, default=None)
+    parser.add_argument("--p", type=int, default=5)
+    parser.add_argument("--steps", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=17)
+    args = parser.parse_args()
+
+    n = args.n or (12 if args.quick else 30)
+    steps = args.steps or (10 if args.quick else 40)
+    track_ratio = n <= 20  # exact optimum is recomputed per step; keep it small
+
+    instance = make_synthetic_instance(n, seed=args.seed)
+    engine = DynamicDiversifier(
+        instance.weights, instance.distances, args.p, tradeoff=instance.tradeoff
+    )
+    rng = np.random.default_rng(args.seed + 1)
+
+    print(f"n={n}, p={args.p}, lambda={instance.tradeoff}, steps={steps}")
+    print(f"initial solution {sorted(engine.solution)} value={engine.solution_value:.3f}")
+    print()
+
+    swaps = 0
+    worst_ratio = 1.0
+    for step in range(1, steps + 1):
+        perturbation = random_perturbation(engine, rng)
+        if perturbation is None:
+            continue
+        outcome = engine.apply(perturbation, updates=1)
+        swaps += outcome.num_swaps
+        line = (
+            f"step {step:>3}: {type(perturbation).__name__:<16} "
+            f"value={outcome.objective_value:8.3f} swapped={'yes' if outcome.changed else 'no '}"
+        )
+        if track_ratio:
+            ratio = engine.approximation_ratio()
+            worst_ratio = max(worst_ratio, ratio)
+            line += f" ratio={ratio:.4f}"
+        print(line)
+
+    print()
+    print(f"total swaps performed: {swaps} over {steps} perturbations")
+    if track_ratio:
+        print(
+            f"worst observed approximation ratio: {worst_ratio:.4f} "
+            "(the paper proves ≤ 3 and observes ≈ 1.11 at worst)"
+        )
+    print(f"final solution {sorted(engine.solution)} value={engine.solution_value:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Stock-portfolio selection under a partition-matroid sector constraint.
+
+The paper motivates the matroid generalization (Section 5) with exactly this
+scenario: pick stocks with high utility for profit (a monotone submodular
+function — the marginal value of yet another similar stock decreases), keep
+the selection spread out in a risk/return embedding (the dispersion term),
+and use a partition matroid so every economic sector appears with bounded
+multiplicity.  The cardinality-constrained greedy cannot express the sector
+constraint — the Appendix even shows greedy can be arbitrarily bad under a
+partition matroid — so the single-swap local search of Theorem 2 is used.
+
+Run:  python examples/portfolio_selection.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections import Counter
+
+from repro import local_search_diversify, make_portfolio_instance
+from repro.core.greedy import greedy_diversify
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="use fewer stocks")
+    parser.add_argument("--stocks", type=int, default=None)
+    parser.add_argument("--per-sector", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args()
+
+    n = args.stocks or (18 if args.quick else 60)
+    instance = make_portfolio_instance(
+        n, sector_capacity=args.per_sector, tradeoff=0.5, seed=args.seed
+    )
+    objective = instance.objective
+    matroid = instance.matroid
+    print(
+        f"Universe: {n} stocks across {len(set(instance.sectors))} sectors, "
+        f"at most {args.per_sector} per sector (matroid rank {matroid.rank()})"
+    )
+    print()
+
+    # Local search under the partition matroid (Theorem 2's algorithm).
+    portfolio = local_search_diversify(objective, matroid)
+    sector_counts = Counter(instance.sectors[i] for i in portfolio.selected)
+    print("Local-search portfolio (sector-balanced):")
+    for stock in sorted(portfolio.selected):
+        print(
+            f"  stock {stock:>3}  sector={instance.sectors[stock]:<12} "
+            f"return={instance.expected_returns[stock]:.3f} "
+            f"risk={instance.risk_return[stock, 0]:.3f}"
+        )
+    print(f"  objective={portfolio.objective_value:.3f}, sectors used={dict(sector_counts)}")
+    print()
+
+    # Contrast: the same budget with only a cardinality constraint (greedy),
+    # which is free to ignore sectors entirely.
+    budget = matroid.rank()
+    unconstrained = greedy_diversify(objective, budget)
+    unconstrained_sectors = Counter(instance.sectors[i] for i in unconstrained.selected)
+    print(
+        f"Cardinality-only greedy with the same budget ({budget} stocks) uses sectors "
+        f"{dict(unconstrained_sectors)} — potentially concentrated, which is what the "
+        "matroid constraint prevents."
+    )
+    print(
+        f"Objective values: matroid local search={portfolio.objective_value:.3f}, "
+        f"unconstrained greedy={unconstrained.objective_value:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+environments without the ``wheel`` package (no PEP 517 build isolation, e.g.
+offline machines) can still run ``pip install -e . --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

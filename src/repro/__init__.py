@@ -1,0 +1,161 @@
+"""repro — a reproduction of "Max-Sum Diversification, Monotone Submodular
+Functions and Dynamic Updates" (Borodin, Jain, Lee, Ye; PODS 2012).
+
+The library selects a subset ``S`` of a ground set maximizing
+
+``φ(S) = f(S) + λ · Σ_{ {u,v} ⊆ S } d(u, v)``
+
+where ``f`` is a normalized monotone submodular quality function, ``d`` is a
+metric and the constraint is a cardinality bound or independence in a
+matroid.  The three headline algorithms match the paper's contributions:
+
+* :func:`~repro.core.greedy.greedy_diversify` — Greedy B, 2-approximation
+  under a cardinality constraint (Theorem 1);
+* :func:`~repro.core.local_search.local_search_diversify` — single-swap local
+  search, 2-approximation under any matroid constraint (Theorem 2);
+* :class:`~repro.dynamic.engine.DynamicDiversifier` — the oblivious
+  single-swap update rule maintaining a 3-approximation under weight and
+  distance perturbations (Theorems 3–6).
+
+Quick start
+-----------
+>>> from repro import make_synthetic_instance, greedy_diversify
+>>> instance = make_synthetic_instance(50, seed=0)
+>>> result = greedy_diversify(instance.objective, p=5)
+>>> len(result.selected)
+5
+"""
+
+from repro.core import (
+    LocalSearchConfig,
+    Objective,
+    SolverResult,
+    StreamingDiversifier,
+    exact_dispersion,
+    exact_diversify,
+    exact_knapsack_diversify,
+    gollapudi_sharma_greedy,
+    greedy_dispersion,
+    greedy_diversify,
+    knapsack_greedy,
+    local_search_diversify,
+    matching_diversify,
+    mmr_select,
+    refine_with_local_search,
+    solve,
+    streaming_diversify,
+)
+from repro.data import (
+    GeoInstance,
+    LetorQueryData,
+    PortfolioInstance,
+    SavedInstance,
+    SyntheticInstance,
+    SyntheticLetorCorpus,
+    load_instance,
+    make_geo_instance,
+    make_portfolio_instance,
+    make_synthetic_instance,
+    save_instance,
+)
+from repro.dynamic import (
+    DistanceDecrease,
+    DistanceIncrease,
+    DynamicDiversifier,
+    Environment,
+    WeightDecrease,
+    WeightIncrease,
+)
+from repro.exceptions import ReproError
+from repro.functions import (
+    CoverageFunction,
+    FacilityLocationFunction,
+    LogDeterminantFunction,
+    MixtureFunction,
+    ModularFunction,
+    SaturatedCoverageFunction,
+    SetFunction,
+    ZeroFunction,
+)
+from repro.matroids import (
+    GraphicMatroid,
+    Matroid,
+    PartitionMatroid,
+    TransversalMatroid,
+    TruncatedMatroid,
+    UniformMatroid,
+)
+from repro.metrics import (
+    CosineMetric,
+    DistanceMatrix,
+    EuclideanMetric,
+    Metric,
+    UniformRandomMetric,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "Objective",
+    "SolverResult",
+    "LocalSearchConfig",
+    "solve",
+    "greedy_diversify",
+    "greedy_dispersion",
+    "gollapudi_sharma_greedy",
+    "matching_diversify",
+    "mmr_select",
+    "local_search_diversify",
+    "refine_with_local_search",
+    "exact_diversify",
+    "exact_dispersion",
+    "knapsack_greedy",
+    "exact_knapsack_diversify",
+    "StreamingDiversifier",
+    "streaming_diversify",
+    # functions
+    "SetFunction",
+    "ModularFunction",
+    "ZeroFunction",
+    "CoverageFunction",
+    "SaturatedCoverageFunction",
+    "FacilityLocationFunction",
+    "LogDeterminantFunction",
+    "MixtureFunction",
+    # metrics
+    "Metric",
+    "DistanceMatrix",
+    "EuclideanMetric",
+    "CosineMetric",
+    "UniformRandomMetric",
+    # matroids
+    "Matroid",
+    "UniformMatroid",
+    "PartitionMatroid",
+    "TransversalMatroid",
+    "GraphicMatroid",
+    "TruncatedMatroid",
+    # dynamic
+    "DynamicDiversifier",
+    "WeightIncrease",
+    "WeightDecrease",
+    "DistanceIncrease",
+    "DistanceDecrease",
+    "Environment",
+    # data
+    "SyntheticInstance",
+    "make_synthetic_instance",
+    "SyntheticLetorCorpus",
+    "LetorQueryData",
+    "PortfolioInstance",
+    "make_portfolio_instance",
+    "GeoInstance",
+    "make_geo_instance",
+    "SavedInstance",
+    "save_instance",
+    "load_instance",
+    # errors
+    "ReproError",
+]

@@ -1,0 +1,51 @@
+"""Shared type aliases and lightweight protocols used across the library.
+
+The library identifies ground-set elements by non-negative integer indices
+``0 .. n-1``.  Higher-level wrappers (for example the LETOR-like corpus in
+:mod:`repro.data.letor`) map their domain objects onto these indices and keep
+the reverse mapping themselves.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Iterable, Protocol, Sequence, runtime_checkable
+
+#: A ground-set element.  The library always uses dense integer indices.
+Element = int
+
+#: Any iterable of elements; algorithms normalize these to ``frozenset``.
+ElementSet = AbstractSet[Element]
+
+#: An ordered collection of elements (e.g. a greedy selection order).
+ElementSequence = Sequence[Element]
+
+
+@runtime_checkable
+class DistanceOracle(Protocol):
+    """Minimal interface algorithms need from a distance structure."""
+
+    @property
+    def n(self) -> int:
+        """Number of ground-set elements."""
+
+    def distance(self, u: Element, v: Element) -> float:
+        """Return ``d(u, v)``."""
+
+
+@runtime_checkable
+class ValueOracle(Protocol):
+    """Minimal interface algorithms need from a set-valuation function."""
+
+    def value(self, subset: Iterable[Element]) -> float:
+        """Return ``f(S)`` for the given subset."""
+
+    def marginal(self, element: Element, subset: Iterable[Element]) -> float:
+        """Return ``f(S + u) - f(S)``."""
+
+
+@runtime_checkable
+class IndependenceOracle(Protocol):
+    """Minimal interface algorithms need from a matroid."""
+
+    def is_independent(self, subset: Iterable[Element]) -> bool:
+        """Return ``True`` when the subset is independent in the matroid."""

@@ -1,0 +1,305 @@
+"""Oblivious single-swap local search (Section 5).
+
+For an arbitrary matroid constraint the paper's local search:
+
+1. initializes with a basis containing the feasible pair ``{x, y}`` maximizing
+   ``f({x, y}) + λ·d(x, y)``,
+2. while some swap ``S - v + u`` (``u ∉ S``, ``v ∈ S``, result independent)
+   improves the objective, performs the best such swap.
+
+Theorem 2 shows the locally optimal solution is a 2-approximation for
+monotone submodular quality.  As the paper notes, requiring at least an
+ε-relative improvement per swap bounds the number of iterations polynomially
+at a ``2(1 + ε)`` style loss; :class:`LocalSearchConfig.epsilon` exposes that
+knob.
+
+:func:`refine_with_local_search` is the experiments' "LS": start from an
+existing solution (Greedy B's output) under a uniform matroid and run
+best-improvement swaps under a wall-clock budget expressed as a multiple of
+the seed solution's running time (the paper uses 10×).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro._types import Element
+from repro.core.objective import Objective
+from repro.core.result import SolverResult, build_result
+from repro.exceptions import InfeasibleError, InvalidParameterError
+from repro.matroids.base import Matroid, restriction_feasible_pairs
+from repro.matroids.uniform import UniformMatroid
+
+
+@dataclass(frozen=True)
+class LocalSearchConfig:
+    """Termination and improvement policy for the local search.
+
+    Attributes
+    ----------
+    epsilon:
+        Minimum relative improvement per swap: a swap is accepted only if it
+        improves the objective by more than ``epsilon * |φ(S)| / n``.  0 means
+        any strict improvement counts (the algorithm exactly as stated in the
+        paper).
+    max_swaps:
+        Hard cap on the number of accepted swaps (``None`` = unbounded).
+    time_budget_seconds:
+        Wall-clock budget (``None`` = unbounded).
+    first_improvement:
+        Accept the first improving swap found instead of the best one.
+    """
+
+    epsilon: float = 0.0
+    max_swaps: Optional[int] = None
+    time_budget_seconds: Optional[float] = None
+    first_improvement: bool = False
+
+    def __post_init__(self) -> None:
+        if self.epsilon < 0:
+            raise InvalidParameterError("epsilon must be non-negative")
+        if self.max_swaps is not None and self.max_swaps < 0:
+            raise InvalidParameterError("max_swaps must be non-negative")
+        if self.time_budget_seconds is not None and self.time_budget_seconds < 0:
+            raise InvalidParameterError("time_budget_seconds must be non-negative")
+
+
+def _initial_basis(objective: Objective, matroid: Matroid) -> Set[Element]:
+    """The paper's initialization: best feasible pair extended to a basis."""
+    rank = matroid.rank()
+    if rank == 0:
+        return set()
+    if rank == 1:
+        best = max(
+            (u for u in range(matroid.n) if matroid.is_independent({u})),
+            key=lambda u: objective.value({u}),
+            default=None,
+        )
+        if best is None:
+            raise InfeasibleError("matroid has rank 1 but no independent singleton")
+        return {best}
+    best_pair: Optional[Tuple[Element, Element]] = None
+    best_value = -float("inf")
+    for x, y in restriction_feasible_pairs(matroid):
+        value = objective.pair_value(x, y)
+        if value > best_value:
+            best_value = value
+            best_pair = (x, y)
+    if best_pair is None:
+        raise InfeasibleError("no independent pair exists in the matroid")
+    # Extend preferring high singleton quality so the starting basis is sensible.
+    preference = sorted(
+        range(matroid.n),
+        key=lambda u: objective.quality.marginal(u, frozenset()),
+        reverse=True,
+    )
+    return set(matroid.extend_to_basis(set(best_pair), preference=preference))
+
+
+def _run_swaps(
+    objective: Objective,
+    matroid: Matroid,
+    selected: Set[Element],
+    config: LocalSearchConfig,
+    started: float,
+    swap_trace: List[Tuple[Element, Element, float]],
+) -> int:
+    """Perform improving swaps in place; return the number of swaps accepted.
+
+    The distance part of each swap gain is read from a
+    :class:`~repro.metrics.aggregates.MarginalDistanceTracker` in O(1):
+
+    ``φ(S − v + u) − φ(S) = [f(S − v + u) − f(S)] + λ·[(d_u(S) − d(u, v)) − d_v(S)]``
+
+    For modular quality the bracketed quality term is ``w(u) − w(v)``, making
+    every candidate swap O(1); for general submodular quality it costs two
+    value-oracle calls.
+    """
+    swaps = 0
+    quality = objective.quality
+    metric = objective.metric
+    lam = objective.tradeoff
+    tracker = objective.make_tracker(selected)
+    current_value = objective.value(selected)
+
+    modular_weights = None
+    if quality.is_modular:
+        modular_weights = [quality.marginal(u, frozenset()) for u in range(objective.n)]
+
+    def out_of_time() -> bool:
+        return (
+            config.time_budget_seconds is not None
+            and time.perf_counter() - started > config.time_budget_seconds
+        )
+
+    while True:
+        if config.max_swaps is not None and swaps >= config.max_swaps:
+            break
+        if out_of_time():
+            break
+        threshold = config.epsilon * abs(current_value) / max(objective.n, 1)
+        best_move: Optional[Tuple[Element, Element]] = None
+        best_gain = threshold
+        stop_scan = False
+        for incoming in range(objective.n):
+            if incoming in selected:
+                continue
+            if incoming % 64 == 0 and out_of_time():
+                stop_scan = True
+                break
+            distance_in = tracker.marginal(incoming)
+            for outgoing in matroid.swap_candidates(selected, incoming):
+                distance_gain = (
+                    distance_in - metric.distance(incoming, outgoing)
+                ) - tracker.marginal(outgoing)
+                if modular_weights is not None:
+                    quality_gain = modular_weights[incoming] - modular_weights[outgoing]
+                else:
+                    without = frozenset(selected - {outgoing})
+                    quality_gain = quality.value(without | {incoming}) - quality.value(
+                        selected
+                    )
+                gain = quality_gain + lam * distance_gain
+                if gain > best_gain:
+                    best_gain = gain
+                    best_move = (incoming, outgoing)
+                    if config.first_improvement:
+                        stop_scan = True
+                        break
+            if stop_scan:
+                break
+        if best_move is None:
+            break
+        incoming, outgoing = best_move
+        selected.remove(outgoing)
+        selected.add(incoming)
+        tracker.swap(incoming, outgoing)
+        current_value += best_gain
+        swap_trace.append((incoming, outgoing, best_gain))
+        swaps += 1
+    return swaps
+
+
+def local_search_diversify(
+    objective: Objective,
+    matroid: Matroid,
+    *,
+    config: Optional[LocalSearchConfig] = None,
+    initial: Optional[Iterable[Element]] = None,
+) -> SolverResult:
+    """Run the single-swap local search under a matroid constraint.
+
+    Parameters
+    ----------
+    objective:
+        The combined objective ``φ``.
+    matroid:
+        The independence constraint.  The returned set is a basis.
+    config:
+        Termination policy (defaults to pure best-improvement until a local
+        optimum, as in Theorem 2).
+    initial:
+        Optional independent set to start from instead of the paper's
+        best-pair initialization.  It is extended to a basis first.
+    """
+    config = config or LocalSearchConfig()
+    started = time.perf_counter()
+    if initial is None:
+        selected = _initial_basis(objective, matroid)
+    else:
+        initial_set = set(initial)
+        if not matroid.is_independent(initial_set):
+            raise InvalidParameterError("initial set must be independent in the matroid")
+        preference = sorted(
+            range(matroid.n),
+            key=lambda u: objective.quality.marginal(u, frozenset()),
+            reverse=True,
+        )
+        selected = set(matroid.extend_to_basis(initial_set, preference=preference))
+
+    swap_trace: List[Tuple[Element, Element, float]] = []
+    swaps = _run_swaps(objective, matroid, selected, config, started, swap_trace)
+    elapsed = time.perf_counter() - started
+    return build_result(
+        objective,
+        selected,
+        sorted(selected),
+        algorithm="local_search",
+        iterations=swaps,
+        elapsed_seconds=elapsed,
+        metadata={
+            "swaps": swap_trace,
+            "epsilon": config.epsilon,
+            "converged": (
+                (config.max_swaps is None or swaps < config.max_swaps)
+                and (
+                    config.time_budget_seconds is None
+                    or elapsed <= config.time_budget_seconds
+                )
+            ),
+        },
+    )
+
+
+def refine_with_local_search(
+    objective: Objective,
+    seed_result: SolverResult,
+    *,
+    p: Optional[int] = None,
+    time_budget_multiple: float = 10.0,
+    min_budget_seconds: float = 0.01,
+    config: Optional[LocalSearchConfig] = None,
+) -> SolverResult:
+    """The experiments' "LS": swap-refine a greedy solution under a time budget.
+
+    Parameters
+    ----------
+    objective:
+        The objective the seed was computed for.
+    seed_result:
+        Typically the output of :func:`repro.core.greedy.greedy_diversify`.
+    p:
+        Cardinality of the uniform-matroid constraint (defaults to the seed's
+        size).
+    time_budget_multiple:
+        Wall-clock budget as a multiple of the seed's running time (the paper
+        runs LS for at most 10× the Greedy B time).
+    min_budget_seconds:
+        Lower bound on the budget so very fast greedy runs still allow a few
+        swaps.
+    config:
+        Optional base configuration; its time budget is overridden.
+    """
+    if time_budget_multiple < 0:
+        raise InvalidParameterError("time_budget_multiple must be non-negative")
+    cardinality = p if p is not None else seed_result.size
+    matroid = UniformMatroid(objective.n, cardinality)
+    budget = max(seed_result.elapsed_seconds * time_budget_multiple, min_budget_seconds)
+    base = config or LocalSearchConfig()
+    refined_config = LocalSearchConfig(
+        epsilon=base.epsilon,
+        max_swaps=base.max_swaps,
+        time_budget_seconds=budget,
+        first_improvement=base.first_improvement,
+    )
+    started = time.perf_counter()
+    selected = set(seed_result.selected)
+    swap_trace: List[Tuple[Element, Element, float]] = []
+    swaps = _run_swaps(objective, matroid, selected, refined_config, started, swap_trace)
+    elapsed = time.perf_counter() - started
+    return build_result(
+        objective,
+        selected,
+        sorted(selected),
+        algorithm="local_search_refine",
+        iterations=swaps,
+        elapsed_seconds=elapsed,
+        metadata={
+            "seed_algorithm": seed_result.algorithm,
+            "seed_value": seed_result.objective_value,
+            "budget_seconds": budget,
+            "swaps": swap_trace,
+        },
+    )

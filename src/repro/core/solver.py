@@ -1,0 +1,118 @@
+"""Unified solver facade.
+
+:func:`solve` is the single entry point most users need: give it a quality
+function, a metric, a trade-off and a constraint (a cardinality ``p`` or a
+:class:`~repro.matroids.base.Matroid`), and it validates the inputs, picks an
+appropriate algorithm and returns a :class:`~repro.core.result.SolverResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from repro._types import Element
+from repro.core.baselines import gollapudi_sharma_greedy, matching_diversify
+from repro.core.exact import exact_diversify
+from repro.core.greedy import greedy_diversify
+from repro.core.local_search import LocalSearchConfig, local_search_diversify
+from repro.core.mmr import mmr_select
+from repro.core.objective import Objective
+from repro.core.result import SolverResult
+from repro.exceptions import InvalidParameterError, SolverError
+from repro.functions.base import SetFunction
+from repro.matroids.base import Matroid
+from repro.matroids.uniform import UniformMatroid
+from repro.metrics.base import Metric
+
+#: Algorithms accepted by :func:`solve`.
+ALGORITHMS = (
+    "auto",
+    "greedy",
+    "greedy_best_pair",
+    "greedy_a",
+    "greedy_a_improved",
+    "matching",
+    "mmr",
+    "local_search",
+    "exact",
+)
+
+
+def solve(
+    quality: SetFunction,
+    metric: Metric,
+    *,
+    tradeoff: float,
+    p: Optional[int] = None,
+    matroid: Optional[Matroid] = None,
+    algorithm: str = "auto",
+    candidates: Optional[Iterable[Element]] = None,
+    local_search_config: Optional[LocalSearchConfig] = None,
+) -> SolverResult:
+    """Solve a max-sum diversification instance.
+
+    Parameters
+    ----------
+    quality, metric, tradeoff:
+        The instance ``(f, d, λ)``.
+    p:
+        Cardinality constraint (mutually exclusive with ``matroid``).
+    matroid:
+        General matroid constraint (mutually exclusive with ``p``).
+    algorithm:
+        One of :data:`ALGORITHMS`.  ``"auto"`` picks Greedy B for a
+        cardinality constraint and local search for a matroid constraint —
+        the two algorithms the paper proves 2-approximations for.
+    candidates:
+        Optional candidate pool restriction (cardinality constraint only).
+    local_search_config:
+        Configuration forwarded to the local search.
+
+    Returns
+    -------
+    SolverResult
+    """
+    if algorithm not in ALGORITHMS:
+        raise InvalidParameterError(
+            f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+        )
+    if (p is None) == (matroid is None):
+        raise InvalidParameterError("supply exactly one of p and matroid")
+
+    objective = Objective(quality, metric, tradeoff)
+
+    if matroid is not None:
+        if candidates is not None:
+            raise InvalidParameterError(
+                "candidate restriction is only supported with a cardinality constraint"
+            )
+        if algorithm in ("auto", "local_search"):
+            return local_search_diversify(
+                objective, matroid, config=local_search_config
+            )
+        if algorithm == "exact":
+            return exact_diversify(objective, matroid=matroid)
+        raise SolverError(
+            f"algorithm {algorithm!r} does not support a general matroid constraint; "
+            "use 'local_search', 'exact' or 'auto'"
+        )
+
+    assert p is not None
+    if algorithm == "auto" or algorithm == "greedy":
+        return greedy_diversify(objective, p, candidates=candidates)
+    if algorithm == "greedy_best_pair":
+        return greedy_diversify(objective, p, candidates=candidates, start="best_pair")
+    if algorithm == "greedy_a":
+        return gollapudi_sharma_greedy(objective, p, candidates=candidates)
+    if algorithm == "greedy_a_improved":
+        return gollapudi_sharma_greedy(objective, p, candidates=candidates, improved=True)
+    if algorithm == "matching":
+        return matching_diversify(objective, p, candidates=candidates)
+    if algorithm == "mmr":
+        return mmr_select(objective, p, candidates=candidates)
+    if algorithm == "local_search":
+        matroid = UniformMatroid(objective.n, p)
+        return local_search_diversify(objective, matroid, config=local_search_config)
+    if algorithm == "exact":
+        return exact_diversify(objective, p, candidates=candidates)
+    raise SolverError(f"unhandled algorithm {algorithm!r}")  # pragma: no cover

@@ -1,0 +1,172 @@
+"""Streaming (incremental) max-sum diversification.
+
+Section 2 of the paper discusses Minack et al.'s incremental approach for
+very large data sets: the input arrives as a stream and a near-optimal
+diverse set must be available at any point without storing the whole stream.
+The paper's own dynamic-update machinery (Section 6) uses the same single
+swap primitive, so this module provides the natural streaming algorithm built
+on it:
+
+* keep at most ``p`` elements;
+* when a new element arrives and the solution is not full, add it;
+* otherwise consider replacing the element whose removal costs least — the
+  arriving element is swapped in if the best such swap strictly improves the
+  objective (optionally by a relative margin, which bounds the total number
+  of swaps logarithmically).
+
+Only the current solution and the arriving element are ever inspected, so the
+memory footprint is O(p) plus the distance/quality oracles, and each arrival
+costs O(p) marginal evaluations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+from repro._types import Element
+from repro.core.objective import Objective
+from repro.core.result import SolverResult, build_result
+from repro.exceptions import InvalidParameterError
+
+
+@dataclass
+class StreamingDiversifier:
+    """Maintain a diverse set of at most ``p`` elements over a stream.
+
+    Parameters
+    ----------
+    objective:
+        The combined objective ``φ``.  The objective's universe must contain
+        every element that will ever arrive (elements are integer indices).
+    p:
+        Maximum solution size.
+    improvement_margin:
+        Relative improvement a swap must achieve to be accepted, as a fraction
+        of the current objective value.  0 accepts any strict improvement;
+        a positive margin (e.g. 0.01) bounds the number of swaps over the
+        whole stream by ``O(log_{1+margin}(φ_max / φ_min))``.
+    """
+
+    objective: Objective
+    p: int
+    improvement_margin: float = 0.0
+    _selected: List[Element] = field(default_factory=list, init=False, repr=False)
+    _value: float = field(default=0.0, init=False, repr=False)
+    _arrivals: int = field(default=0, init=False, repr=False)
+    _swaps: int = field(default=0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.p < 1:
+            raise InvalidParameterError("p must be at least 1")
+        if self.improvement_margin < 0:
+            raise InvalidParameterError("improvement_margin must be non-negative")
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def solution(self) -> frozenset:
+        """The current solution."""
+        return frozenset(self._selected)
+
+    @property
+    def solution_value(self) -> float:
+        """``φ`` of the current solution."""
+        return self._value
+
+    @property
+    def arrivals(self) -> int:
+        """Number of elements processed so far."""
+        return self._arrivals
+
+    @property
+    def swaps(self) -> int:
+        """Number of replacements performed so far."""
+        return self._swaps
+
+    # ------------------------------------------------------------------
+    # Stream processing
+    # ------------------------------------------------------------------
+    def process(self, element: Element) -> bool:
+        """Process one arriving element; return ``True`` if the solution changed."""
+        if element < 0 or element >= self.objective.n:
+            raise InvalidParameterError(
+                f"element {element} is outside the objective's universe"
+            )
+        self._arrivals += 1
+        if element in self._selected:
+            return False
+        members = frozenset(self._selected)
+        if len(self._selected) < self.p:
+            gain = self.objective.marginal(element, members)
+            self._selected.append(element)
+            self._value += gain
+            return True
+        # Full: find the best single replacement for the arriving element.
+        best_gain = self.improvement_margin * abs(self._value)
+        best_outgoing: Optional[Element] = None
+        for outgoing in self._selected:
+            gain = self.objective.swap_gain(members, element, outgoing)
+            if gain > best_gain:
+                best_gain = gain
+                best_outgoing = outgoing
+        if best_outgoing is None:
+            return False
+        self._selected.remove(best_outgoing)
+        self._selected.append(element)
+        self._value += best_gain
+        self._swaps += 1
+        return True
+
+    def process_stream(self, elements: Iterable[Element]) -> "StreamingDiversifier":
+        """Process a whole iterable of arrivals (returns ``self`` for chaining)."""
+        for element in elements:
+            self.process(element)
+        return self
+
+    def result(self, *, elapsed_seconds: float = 0.0) -> SolverResult:
+        """Package the current solution as a :class:`SolverResult`."""
+        return build_result(
+            self.objective,
+            self._selected,
+            list(self._selected),
+            algorithm="streaming",
+            iterations=self._arrivals,
+            elapsed_seconds=elapsed_seconds,
+            metadata={
+                "swaps": self._swaps,
+                "improvement_margin": self.improvement_margin,
+                "p": self.p,
+            },
+        )
+
+
+def streaming_diversify(
+    objective: Objective,
+    p: int,
+    arrival_order: Optional[Iterable[Element]] = None,
+    *,
+    improvement_margin: float = 0.0,
+) -> SolverResult:
+    """One-shot convenience wrapper: stream the universe through a StreamingDiversifier.
+
+    Parameters
+    ----------
+    objective:
+        The combined objective.
+    p:
+        Maximum solution size.
+    arrival_order:
+        The order in which elements arrive (defaults to index order).
+    improvement_margin:
+        Forwarded to :class:`StreamingDiversifier`.
+    """
+    started = time.perf_counter()
+    order: Tuple[Element, ...] = (
+        tuple(range(objective.n)) if arrival_order is None else tuple(arrival_order)
+    )
+    engine = StreamingDiversifier(objective, p, improvement_margin=improvement_margin)
+    engine.process_stream(order)
+    return engine.result(elapsed_seconds=time.perf_counter() - started)

@@ -1,0 +1,33 @@
+"""Data substrate: instance generators for experiments, examples and tests.
+
+* :mod:`~repro.data.synthetic` — the paper's synthetic workload (Section 7.1):
+  weights uniform in [0, 1], distances uniform in [1, 2].
+* :mod:`~repro.data.letor` — a synthetic stand-in for the LETOR learning-to-
+  rank collection used in Section 7.2 (integral relevance scores 0–5, feature
+  vectors, cosine distance, multiple queries).
+* :mod:`~repro.data.portfolio` — a stock-portfolio scenario (sector partition
+  matroid, risk/return embedding) matching the paper's portfolio motivation.
+* :mod:`~repro.data.geo` — planar facility-location instances matching the
+  dispersion roots of the problem.
+"""
+
+from repro.data.geo import GeoInstance, make_geo_instance
+from repro.data.io import SavedInstance, load_instance, save_instance
+from repro.data.letor import LetorDocument, LetorQueryData, SyntheticLetorCorpus
+from repro.data.portfolio import PortfolioInstance, make_portfolio_instance
+from repro.data.synthetic import SyntheticInstance, make_synthetic_instance
+
+__all__ = [
+    "SyntheticInstance",
+    "make_synthetic_instance",
+    "SyntheticLetorCorpus",
+    "LetorDocument",
+    "LetorQueryData",
+    "PortfolioInstance",
+    "make_portfolio_instance",
+    "GeoInstance",
+    "make_geo_instance",
+    "SavedInstance",
+    "save_instance",
+    "load_instance",
+]

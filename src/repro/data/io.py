@@ -1,0 +1,154 @@
+"""Instance serialization.
+
+Experiments need to be re-runnable on exactly the same data, so the library
+can persist a diversification instance — weights, distance matrix, trade-off
+and optional element labels — to a single ``.npz`` file and load it back.
+The format is deliberately simple (numpy arrays plus a JSON-encoded metadata
+blob) so instances can also be produced by external tools.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.objective import Objective
+from repro.exceptions import InvalidParameterError
+from repro.functions.modular import ModularFunction
+from repro.metrics.matrix import DistanceMatrix
+
+#: Format marker stored inside every saved file.
+FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class SavedInstance:
+    """A deserialized diversification instance.
+
+    Attributes
+    ----------
+    weights:
+        Element weights (modular quality).
+    distances:
+        Pairwise distance matrix.
+    tradeoff:
+        The λ the instance was saved with.
+    labels:
+        Optional human-readable element labels (e.g. document ids).
+    metadata:
+        Free-form metadata dictionary stored alongside the arrays.
+    """
+
+    weights: np.ndarray
+    distances: np.ndarray
+    tradeoff: float
+    labels: Optional[Sequence[str]] = None
+    metadata: Optional[Dict[str, object]] = None
+
+    @property
+    def n(self) -> int:
+        """Universe size."""
+        return self.weights.shape[0]
+
+    @property
+    def objective(self) -> Objective:
+        """Reassemble the objective ``φ = f + λ·d``."""
+        return Objective(
+            ModularFunction(self.weights), DistanceMatrix(self.distances), self.tradeoff
+        )
+
+
+def save_instance(
+    path: PathLike,
+    weights: Union[np.ndarray, Sequence[float]],
+    distances: Union[np.ndarray, DistanceMatrix],
+    tradeoff: float,
+    *,
+    labels: Optional[Sequence[str]] = None,
+    metadata: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Persist an instance to ``path`` (``.npz``); returns the resolved path.
+
+    Parameters
+    ----------
+    path:
+        Target file; the ``.npz`` suffix is appended when missing.
+    weights, distances, tradeoff:
+        The instance ``(w, d, λ)``.  Distances are validated through
+        :class:`~repro.metrics.matrix.DistanceMatrix`.
+    labels:
+        Optional per-element labels (must match the universe size).
+    metadata:
+        Optional JSON-serializable metadata.
+    """
+    weight_array = np.asarray(list(weights) if not isinstance(weights, np.ndarray) else weights,
+                              dtype=float)
+    if weight_array.ndim != 1:
+        raise InvalidParameterError("weights must be one-dimensional")
+    if isinstance(distances, DistanceMatrix):
+        distance_array = distances.to_matrix()
+    else:
+        distance_array = DistanceMatrix(np.asarray(distances, dtype=float)).to_matrix()
+    if distance_array.shape[0] != weight_array.shape[0]:
+        raise InvalidParameterError(
+            "weights and distances must cover the same universe"
+        )
+    if tradeoff < 0:
+        raise InvalidParameterError("tradeoff must be non-negative")
+    if labels is not None and len(labels) != weight_array.shape[0]:
+        raise InvalidParameterError("labels must have one entry per element")
+
+    target = Path(path)
+    if target.suffix != ".npz":
+        target = target.with_suffix(target.suffix + ".npz" if target.suffix else ".npz")
+    header = {
+        "format_version": FORMAT_VERSION,
+        "tradeoff": float(tradeoff),
+        "n": int(weight_array.shape[0]),
+        "metadata": metadata or {},
+    }
+    arrays = {
+        "weights": weight_array,
+        "distances": distance_array,
+        "header": np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+    }
+    if labels is not None:
+        arrays["labels"] = np.array([str(label) for label in labels])
+    target.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(target, **arrays)
+    return target
+
+
+def load_instance(path: PathLike) -> SavedInstance:
+    """Load an instance previously written by :func:`save_instance`."""
+    target = Path(path)
+    if not target.exists():
+        raise InvalidParameterError(f"no such instance file: {target}")
+    with np.load(target, allow_pickle=False) as archive:
+        if "header" not in archive or "weights" not in archive or "distances" not in archive:
+            raise InvalidParameterError(f"{target} is not a saved repro instance")
+        header = json.loads(bytes(archive["header"].tobytes()).decode("utf-8"))
+        if header.get("format_version") != FORMAT_VERSION:
+            raise InvalidParameterError(
+                f"unsupported instance format version {header.get('format_version')!r}"
+            )
+        weights = np.array(archive["weights"], dtype=float)
+        distances = np.array(archive["distances"], dtype=float)
+        labels = (
+            [str(x) for x in archive["labels"]] if "labels" in archive.files else None
+        )
+    # Round-trip the distances through DistanceMatrix to re-validate them.
+    DistanceMatrix(distances)
+    return SavedInstance(
+        weights=weights,
+        distances=distances,
+        tradeoff=float(header["tradeoff"]),
+        labels=labels,
+        metadata=dict(header.get("metadata", {})),
+    )

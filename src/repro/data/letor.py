@@ -1,0 +1,236 @@
+"""Synthetic LETOR-like corpus (substitute for the LETOR benchmark of Section 7.2).
+
+The real LETOR collection is not redistributable and this environment has no
+network access, so the repository ships a generator that reproduces the
+*structure* the paper relies on:
+
+* each query has a pool of documents,
+* each document has an integral relevance score ``r(u) ∈ {0, ..., 5}``
+  (relative to its query) and a feature vector,
+* the quality of a result set is the modular sum of relevance scores,
+  ``f(S) = Σ_{u ∈ S} r(u)``,
+* the distance between two documents is the cosine distance between their
+  feature vectors.
+
+Documents are generated from a handful of latent "aspects" per query so that
+documents about the same aspect are close in feature space and highly
+relevant documents cluster — the property that makes relevance-only ranking
+insufficiently diverse and gives the dispersion term something to do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.objective import Objective
+from repro.exceptions import InvalidParameterError
+from repro.functions.modular import ModularFunction
+from repro.metrics.matrix import DistanceMatrix
+from repro.utils.rng import SeedLike, make_rng
+
+#: Relevance grades follow LETOR conventions (0 = irrelevant .. 5 = perfect).
+MAX_RELEVANCE = 5
+
+
+@dataclass(frozen=True)
+class LetorDocument:
+    """One document of a query's candidate pool.
+
+    Attributes
+    ----------
+    doc_id:
+        Document identifier, unique within its query.
+    query_id:
+        Identifier of the query this document belongs to.
+    relevance:
+        Integral relevance grade in ``0..5``.
+    features:
+        Dense feature vector used for the cosine distance.
+    aspect:
+        The latent aspect (sub-topic) the document was generated from; kept
+        for inspection and for example scripts that build partition matroids
+        over aspects.
+    """
+
+    doc_id: int
+    query_id: int
+    relevance: int
+    features: np.ndarray
+    aspect: int
+
+
+@dataclass(frozen=True)
+class LetorQueryData:
+    """All documents of one query, plus the derived instance pieces."""
+
+    query_id: int
+    documents: Tuple[LetorDocument, ...] = field(repr=False)
+
+    @property
+    def n(self) -> int:
+        """Number of documents in the pool."""
+        return len(self.documents)
+
+    @property
+    def relevances(self) -> np.ndarray:
+        """Vector of relevance grades (the modular quality weights)."""
+        return np.array([doc.relevance for doc in self.documents], dtype=float)
+
+    @property
+    def features(self) -> np.ndarray:
+        """Stacked feature matrix (one row per document)."""
+        return np.vstack([doc.features for doc in self.documents])
+
+    @property
+    def aspects(self) -> Tuple[int, ...]:
+        """Latent aspect of each document."""
+        return tuple(doc.aspect for doc in self.documents)
+
+    def quality(self) -> ModularFunction:
+        """``f(S) = Σ r(u)``."""
+        return ModularFunction(self.relevances)
+
+    def metric(self) -> DistanceMatrix:
+        """Cosine-distance matrix over the feature vectors."""
+        return DistanceMatrix.from_points(self.features, metric="cosine")
+
+    def objective(self, tradeoff: float) -> Objective:
+        """Assemble ``φ = f + λ·d`` for this query."""
+        return Objective(self.quality(), self.metric(), tradeoff)
+
+    def top_documents(self, k: int) -> "LetorQueryData":
+        """Return a new query pool restricted to the ``k`` most relevant documents.
+
+        Ties are broken by document id, mirroring the paper's "top (by
+        relevance score) 50 / 370 documents" construction.
+        """
+        if k < 0:
+            raise InvalidParameterError("k must be non-negative")
+        ranked = sorted(
+            self.documents, key=lambda doc: (-doc.relevance, doc.doc_id)
+        )[:k]
+        reindexed = tuple(
+            LetorDocument(
+                doc_id=i,
+                query_id=doc.query_id,
+                relevance=doc.relevance,
+                features=doc.features,
+                aspect=doc.aspect,
+            )
+            for i, doc in enumerate(ranked)
+        )
+        return LetorQueryData(query_id=self.query_id, documents=reindexed)
+
+
+class SyntheticLetorCorpus:
+    """A multi-query LETOR-like corpus.
+
+    Parameters
+    ----------
+    num_queries:
+        Number of queries to generate (the paper averages over 5).
+    docs_per_query:
+        Pool size per query (the paper's largest pool has 370 documents).
+    num_features:
+        Dimensionality of the document feature vectors.
+    num_aspects:
+        Number of latent aspects per query; documents are drawn around aspect
+        centroids so same-aspect documents are similar.
+    relevance_skew:
+        Larger values make high relevance grades rarer (realistic pools are
+        dominated by low-relevance documents).
+    seed:
+        Seed or generator.
+    """
+
+    def __init__(
+        self,
+        num_queries: int = 5,
+        docs_per_query: int = 370,
+        *,
+        num_features: int = 46,
+        num_aspects: int = 8,
+        relevance_skew: float = 1.4,
+        seed: SeedLike = None,
+    ) -> None:
+        if num_queries < 1 or docs_per_query < 1:
+            raise InvalidParameterError("need at least one query and one document")
+        if num_features < 2 or num_aspects < 1:
+            raise InvalidParameterError("need num_features >= 2 and num_aspects >= 1")
+        if relevance_skew <= 0:
+            raise InvalidParameterError("relevance_skew must be positive")
+        self._num_features = num_features
+        self._num_aspects = num_aspects
+        rng = make_rng(seed)
+        self._queries: Dict[int, LetorQueryData] = {}
+        for query_id in range(num_queries):
+            documents = self._generate_query(
+                query_id, docs_per_query, relevance_skew, rng
+            )
+            self._queries[query_id] = LetorQueryData(
+                query_id=query_id, documents=documents
+            )
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def _generate_query(
+        self,
+        query_id: int,
+        docs_per_query: int,
+        relevance_skew: float,
+        rng: np.random.Generator,
+    ) -> Tuple[LetorDocument, ...]:
+        # Aspect centroids: non-negative, roughly unit-scale feature profiles.
+        centroids = rng.gamma(shape=2.0, scale=0.5, size=(self._num_aspects, self._num_features))
+        # Aspect popularity decays so some facets dominate the pool, and each
+        # aspect has its own relevance affinity (how on-topic it is for the query).
+        popularity = rng.dirichlet(np.linspace(3.0, 0.5, self._num_aspects))
+        affinity = rng.uniform(0.2, 1.0, size=self._num_aspects)
+        documents: List[LetorDocument] = []
+        for doc_id in range(docs_per_query):
+            aspect = int(rng.choice(self._num_aspects, p=popularity))
+            noise = rng.gamma(shape=1.5, scale=0.15, size=self._num_features)
+            features = centroids[aspect] + noise
+            # Relevance mixes the aspect's affinity with per-document luck and
+            # is skewed toward low grades (realistic pools are mostly grade 0-2).
+            raw = float(np.clip(0.55 * affinity[aspect] + 0.45 * rng.uniform(), 0.0, 1.0))
+            grade = int(
+                np.clip(round(MAX_RELEVANCE * raw**relevance_skew), 0, MAX_RELEVANCE)
+            )
+            documents.append(
+                LetorDocument(
+                    doc_id=doc_id,
+                    query_id=query_id,
+                    relevance=grade,
+                    features=features,
+                    aspect=aspect,
+                )
+            )
+        return tuple(documents)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def num_queries(self) -> int:
+        """Number of queries in the corpus."""
+        return len(self._queries)
+
+    @property
+    def query_ids(self) -> Sequence[int]:
+        """The query identifiers."""
+        return tuple(sorted(self._queries))
+
+    def query(self, query_id: int) -> LetorQueryData:
+        """Return the document pool of one query."""
+        if query_id not in self._queries:
+            raise InvalidParameterError(f"unknown query id {query_id}")
+        return self._queries[query_id]
+
+    def queries(self) -> Sequence[LetorQueryData]:
+        """All query pools in query-id order."""
+        return tuple(self._queries[qid] for qid in self.query_ids)

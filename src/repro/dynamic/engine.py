@@ -1,0 +1,255 @@
+"""The dynamic diversification engine.
+
+:class:`DynamicDiversifier` owns a *mutable* instance — a weight vector
+(modular quality) and a distance matrix — together with a current solution of
+fixed cardinality ``p``.  It applies :mod:`~repro.dynamic.perturbation`
+objects, then runs the oblivious single-swap update rule, optionally the
+multi-update schedule Theorem 4 prescribes for large weight decreases.
+
+The engine can also report the exact optimum (for small instances) so the
+simulation of Section 7.3 can track the worst observed approximation ratio.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro._types import Element
+from repro.core.exact import exact_diversify
+from repro.core.greedy import greedy_diversify
+from repro.core.objective import Objective
+from repro.dynamic.perturbation import (
+    DistanceDecrease,
+    DistanceIncrease,
+    Perturbation,
+    WeightDecrease,
+    WeightIncrease,
+)
+from repro.dynamic.update_rules import (
+    UpdateOutcome,
+    oblivious_update,
+    required_updates_for_weight_decrease,
+    update_until_stable,
+)
+from repro.exceptions import InvalidParameterError, PerturbationError
+from repro.functions.modular import ModularFunction
+from repro.metrics.matrix import DistanceMatrix
+from repro.metrics.validation import triangle_violations
+
+
+class DynamicDiversifier:
+    """Maintain a max-sum diversification solution under a perturbation stream.
+
+    Parameters
+    ----------
+    weights:
+        Initial non-negative element weights (the modular quality function).
+    distances:
+        Initial metric distance matrix; the engine takes ownership of a copy.
+    p:
+        Cardinality of the maintained solution.
+    tradeoff:
+        The trade-off λ.
+    initial_solution:
+        Optional starting solution; by default the engine seeds itself with
+        Greedy B (a 2-approximation, satisfying Corollary 4's precondition).
+    validate_metric:
+        When ``True``, every distance perturbation is checked to preserve the
+        triangle inequality (O(n^2) per check) and rejected otherwise.
+    """
+
+    def __init__(
+        self,
+        weights: Iterable[float] | np.ndarray,
+        distances: np.ndarray | DistanceMatrix,
+        p: int,
+        *,
+        tradeoff: float = 1.0,
+        initial_solution: Optional[Iterable[Element]] = None,
+        validate_metric: bool = False,
+    ) -> None:
+        self._weights = ModularFunction(np.asarray(list(np.atleast_1d(weights)), dtype=float)
+                                        if not isinstance(weights, np.ndarray) else weights)
+        if isinstance(distances, DistanceMatrix):
+            self._distances = distances.copy()
+        else:
+            self._distances = DistanceMatrix(np.asarray(distances, dtype=float))
+        if self._weights.n != self._distances.n:
+            raise InvalidParameterError("weights and distances cover different universes")
+        if p < 1 or p > self._weights.n:
+            raise InvalidParameterError(
+                f"p must lie in [1, n]; got p={p} for n={self._weights.n}"
+            )
+        self._p = int(p)
+        self._tradeoff = float(tradeoff)
+        self._validate_metric = bool(validate_metric)
+        self._history: List[Tuple[Perturbation, UpdateOutcome]] = []
+
+        if initial_solution is None:
+            seed = greedy_diversify(self.objective, self._p)
+            self._solution = set(seed.selected)
+        else:
+            members = set(initial_solution)
+            if len(members) != self._p:
+                raise InvalidParameterError(
+                    f"initial solution must have exactly p={self._p} elements"
+                )
+            self._solution = members
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Universe size."""
+        return self._weights.n
+
+    @property
+    def p(self) -> int:
+        """Cardinality of the maintained solution."""
+        return self._p
+
+    @property
+    def tradeoff(self) -> float:
+        """The trade-off λ."""
+        return self._tradeoff
+
+    @property
+    def objective(self) -> Objective:
+        """The *current* objective (reflects all applied perturbations)."""
+        return Objective(self._weights, self._distances, self._tradeoff)
+
+    @property
+    def solution(self) -> FrozenSet[Element]:
+        """The currently maintained solution."""
+        return frozenset(self._solution)
+
+    @property
+    def solution_value(self) -> float:
+        """``φ`` of the current solution under the current instance."""
+        return self.objective.value(self._solution)
+
+    @property
+    def history(self) -> Tuple[Tuple[Perturbation, UpdateOutcome], ...]:
+        """All (perturbation, update outcome) pairs applied so far."""
+        return tuple(self._history)
+
+    def weight(self, element: Element) -> float:
+        """Current weight of ``element``."""
+        return self._weights.weight(element)
+
+    def distance(self, u: Element, v: Element) -> float:
+        """Current distance ``d(u, v)``."""
+        return self._distances.distance(u, v)
+
+    # ------------------------------------------------------------------
+    # Applying perturbations
+    # ------------------------------------------------------------------
+    def _apply_to_instance(self, perturbation: Perturbation) -> None:
+        if isinstance(perturbation, WeightIncrease):
+            current = self._weights.weight(perturbation.element)
+            self._weights.set_weight(perturbation.element, current + perturbation.delta)
+        elif isinstance(perturbation, WeightDecrease):
+            current = self._weights.weight(perturbation.element)
+            if perturbation.delta > current + 1e-12:
+                raise PerturbationError(
+                    f"weight decrease of {perturbation.delta} exceeds the current "
+                    f"weight {current} of element {perturbation.element}"
+                )
+            self._weights.set_weight(
+                perturbation.element, max(current - perturbation.delta, 0.0)
+            )
+        elif isinstance(perturbation, (DistanceIncrease, DistanceDecrease)):
+            sign = 1.0 if isinstance(perturbation, DistanceIncrease) else -1.0
+            current = self._distances.distance(perturbation.u, perturbation.v)
+            new_value = current + sign * perturbation.delta
+            if new_value < -1e-12:
+                raise PerturbationError("distance decrease would make the distance negative")
+            self._distances.set_distance(perturbation.u, perturbation.v, max(new_value, 0.0))
+            if self._validate_metric and triangle_violations(
+                self._distances, max_violations=1
+            ):
+                # Roll back and refuse: the paper assumes perturbations keep a metric.
+                self._distances.set_distance(perturbation.u, perturbation.v, current)
+                raise PerturbationError(
+                    "distance perturbation violates the triangle inequality"
+                )
+        else:
+            raise PerturbationError(f"unknown perturbation {perturbation!r}")
+
+    def apply(
+        self,
+        perturbation: Perturbation,
+        *,
+        updates: Optional[int] = None,
+        auto_schedule: bool = True,
+    ) -> UpdateOutcome:
+        """Apply a perturbation, then run the oblivious update rule.
+
+        Parameters
+        ----------
+        perturbation:
+            The change to apply.
+        updates:
+            Explicit number of single-swap updates to run.  ``None`` means:
+            one update, except for large Type II decreases where the Theorem 4
+            schedule is used when ``auto_schedule`` is ``True``.
+        auto_schedule:
+            Whether to use Theorem 4's multi-update count automatically.
+        """
+        planned: Optional[int]
+        if updates is not None:
+            if updates < 0:
+                raise InvalidParameterError("updates must be non-negative")
+            planned = updates
+        elif auto_schedule and isinstance(perturbation, WeightDecrease):
+            value_before = self.solution_value
+            delta_effect = min(
+                perturbation.delta,
+                self._weights.weight(perturbation.element)
+                if perturbation.element in self._solution
+                else 0.0,
+            )
+            if delta_effect > 0 and value_before > delta_effect:
+                planned = required_updates_for_weight_decrease(
+                    value_before, delta_effect, self._p
+                )
+            else:
+                planned = 1
+        else:
+            planned = 1
+
+        self._apply_to_instance(perturbation)
+        objective = self.objective
+        if planned == 1:
+            outcome = oblivious_update(objective, self._solution)
+        else:
+            outcome = update_until_stable(
+                objective, self._solution, max_updates=planned
+            )
+        self._solution = set(outcome.solution)
+        self._history.append((perturbation, outcome))
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def optimal_value(self) -> float:
+        """Exact optimum of the *current* instance (exponential; small n only)."""
+        return exact_diversify(self.objective, self._p).objective_value
+
+    def approximation_ratio(self) -> float:
+        """``OPT / φ(S)`` for the current instance and solution (small n only)."""
+        value = self.solution_value
+        optimum = self.optimal_value()
+        if value <= 1e-12:
+            return 1.0 if optimum <= 1e-12 else float("inf")
+        return optimum / value
+
+    def rebuild(self) -> FrozenSet[Element]:
+        """Recompute the solution from scratch with Greedy B (a full rebuild)."""
+        result = greedy_diversify(self.objective, self._p)
+        self._solution = set(result.selected)
+        return frozenset(self._solution)

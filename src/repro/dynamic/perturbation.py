@@ -1,0 +1,123 @@
+"""Perturbation model for dynamic updates (Section 6).
+
+The paper classifies single changes into four types:
+
+* **Type I** — a weight increase on an element,
+* **Type II** — a weight decrease on an element,
+* **Type III** — a distance increase between two elements,
+* **Type IV** — a distance decrease between two elements,
+
+and distance perturbations are assumed to preserve the metric condition.
+Each perturbation is a small immutable description of *what changes*;
+applying it to an instance is the engine's job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Union
+
+from repro._types import Element
+from repro.exceptions import PerturbationError
+
+
+class PerturbationType(str, Enum):
+    """The paper's four perturbation types."""
+
+    WEIGHT_INCREASE = "I"
+    WEIGHT_DECREASE = "II"
+    DISTANCE_INCREASE = "III"
+    DISTANCE_DECREASE = "IV"
+
+
+@dataclass(frozen=True)
+class WeightIncrease:
+    """Type I: increase ``w(element)`` by ``delta > 0``."""
+
+    element: Element
+    delta: float
+
+    def __post_init__(self) -> None:
+        if self.delta <= 0:
+            raise PerturbationError("a weight increase must have delta > 0")
+
+    @property
+    def kind(self) -> PerturbationType:
+        """The perturbation type."""
+        return PerturbationType.WEIGHT_INCREASE
+
+
+@dataclass(frozen=True)
+class WeightDecrease:
+    """Type II: decrease ``w(element)`` by ``delta > 0`` (weight stays ≥ 0)."""
+
+    element: Element
+    delta: float
+
+    def __post_init__(self) -> None:
+        if self.delta <= 0:
+            raise PerturbationError("a weight decrease must have delta > 0")
+
+    @property
+    def kind(self) -> PerturbationType:
+        return PerturbationType.WEIGHT_DECREASE
+
+
+@dataclass(frozen=True)
+class DistanceIncrease:
+    """Type III: increase ``d(u, v)`` by ``delta > 0`` (must stay a metric)."""
+
+    u: Element
+    v: Element
+    delta: float
+
+    def __post_init__(self) -> None:
+        if self.delta <= 0:
+            raise PerturbationError("a distance increase must have delta > 0")
+        if self.u == self.v:
+            raise PerturbationError("distance perturbations need two distinct elements")
+
+    @property
+    def kind(self) -> PerturbationType:
+        return PerturbationType.DISTANCE_INCREASE
+
+
+@dataclass(frozen=True)
+class DistanceDecrease:
+    """Type IV: decrease ``d(u, v)`` by ``delta > 0`` (must stay a metric)."""
+
+    u: Element
+    v: Element
+    delta: float
+
+    def __post_init__(self) -> None:
+        if self.delta <= 0:
+            raise PerturbationError("a distance decrease must have delta > 0")
+        if self.u == self.v:
+            raise PerturbationError("distance perturbations need two distinct elements")
+
+    @property
+    def kind(self) -> PerturbationType:
+        return PerturbationType.DISTANCE_DECREASE
+
+
+#: Any of the four perturbation kinds.
+Perturbation = Union[WeightIncrease, WeightDecrease, DistanceIncrease, DistanceDecrease]
+
+
+def describe(perturbation: Perturbation) -> str:
+    """Human-readable one-line description of a perturbation."""
+    if isinstance(perturbation, WeightIncrease):
+        return f"Type I: w({perturbation.element}) += {perturbation.delta:.4f}"
+    if isinstance(perturbation, WeightDecrease):
+        return f"Type II: w({perturbation.element}) -= {perturbation.delta:.4f}"
+    if isinstance(perturbation, DistanceIncrease):
+        return (
+            f"Type III: d({perturbation.u}, {perturbation.v}) += {perturbation.delta:.4f}"
+        )
+    if isinstance(perturbation, DistanceDecrease):
+        return (
+            f"Type IV: d({perturbation.u}, {perturbation.v}) -= {perturbation.delta:.4f}"
+        )
+    raise PerturbationError(f"unknown perturbation {perturbation!r}")

@@ -1,0 +1,224 @@
+"""The oblivious single-swap update rule (Section 6).
+
+Given the current solution ``S``, find the pair ``(u, v)`` with ``u ∈ S``,
+``v ∉ S`` maximizing the swap gain
+
+``φ_{v→u}(S) = φ(S − u + v) − φ(S)``
+
+and perform the swap iff the gain is positive.  The rule is *oblivious*
+because it ignores which perturbation happened.
+
+:func:`required_updates_for_weight_decrease` computes Theorem 4's bound
+``⌈log_{(p-2)/(p-3)} w/(w-δ)⌉`` on the number of updates needed after a large
+weight decrease.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from repro._types import Element
+from repro.core.objective import Objective
+from repro.exceptions import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class UpdateOutcome:
+    """Result of applying the oblivious update rule once (or repeatedly).
+
+    Attributes
+    ----------
+    solution:
+        The solution after the update(s).
+    swaps:
+        List of performed swaps ``(incoming, outgoing, gain)`` in order.
+    objective_value:
+        ``φ`` of the final solution.
+    """
+
+    solution: FrozenSet[Element]
+    swaps: Tuple[Tuple[Element, Element, float], ...]
+    objective_value: float
+
+    @property
+    def num_swaps(self) -> int:
+        """Number of swaps performed."""
+        return len(self.swaps)
+
+    @property
+    def changed(self) -> bool:
+        """Whether any swap was performed."""
+        return bool(self.swaps)
+
+
+def best_swap(
+    objective: Objective, solution: Set[Element]
+) -> Optional[Tuple[Element, Element, float]]:
+    """Return the best single swap ``(incoming, outgoing, gain)`` or ``None``.
+
+    ``None`` is returned when no swap has a strictly positive gain, i.e. the
+    solution is locally optimal for the single-swap neighbourhood.
+    """
+    best: Optional[Tuple[Element, Element, float]] = None
+    for incoming in range(objective.n):
+        if incoming in solution:
+            continue
+        for outgoing in solution:
+            gain = objective.swap_gain(solution, incoming, outgoing)
+            if gain > 0 and (best is None or gain > best[2]):
+                best = (incoming, outgoing, gain)
+    return best
+
+
+def oblivious_update(objective: Objective, solution: Set[Element]) -> UpdateOutcome:
+    """Apply the oblivious single-swap update rule exactly once."""
+    current = set(solution)
+    move = best_swap(objective, current)
+    swaps: List[Tuple[Element, Element, float]] = []
+    if move is not None:
+        incoming, outgoing, gain = move
+        current.remove(outgoing)
+        current.add(incoming)
+        swaps.append((incoming, outgoing, gain))
+    return UpdateOutcome(
+        solution=frozenset(current),
+        swaps=tuple(swaps),
+        objective_value=objective.value(current),
+    )
+
+
+def update_until_stable(
+    objective: Objective,
+    solution: Set[Element],
+    *,
+    max_updates: Optional[int] = None,
+) -> UpdateOutcome:
+    """Apply the oblivious rule repeatedly until no swap improves (or a cap hits)."""
+    if max_updates is not None and max_updates < 0:
+        raise InvalidParameterError("max_updates must be non-negative")
+    current = set(solution)
+    swaps: List[Tuple[Element, Element, float]] = []
+    while max_updates is None or len(swaps) < max_updates:
+        move = best_swap(objective, current)
+        if move is None:
+            break
+        incoming, outgoing, gain = move
+        current.remove(outgoing)
+        current.add(incoming)
+        swaps.append((incoming, outgoing, gain))
+    return UpdateOutcome(
+        solution=frozenset(current),
+        swaps=tuple(swaps),
+        objective_value=objective.value(current),
+    )
+
+
+def best_k_swap(
+    objective: Objective, solution: Set[Element], k: int
+) -> Optional[Tuple[Tuple[Element, ...], Tuple[Element, ...], float]]:
+    """Best simultaneous swap of exactly ``k`` elements, or ``None`` if none improves.
+
+    The paper's conclusion asks whether larger-cardinality swaps (or a
+    non-oblivious rule) can maintain a ratio better than 3 with few updates;
+    this primitive supports experimenting with that question.  The search is
+    exhaustive over ``C(|S|, k) · C(n − |S|, k)`` combinations, so it is only
+    intended for small ``k`` (2 in practice).
+
+    Returns ``(incoming, outgoing, gain)`` with ``gain > 0``, or ``None``.
+    """
+    from itertools import combinations
+
+    if k < 1:
+        raise InvalidParameterError("k must be at least 1")
+    members = sorted(solution)
+    outside = [u for u in range(objective.n) if u not in solution]
+    if len(members) < k or len(outside) < k:
+        return None
+    current_value = objective.value(solution)
+    best: Optional[Tuple[Tuple[Element, ...], Tuple[Element, ...], float]] = None
+    for outgoing in combinations(members, k):
+        without = set(solution) - set(outgoing)
+        for incoming in combinations(outside, k):
+            candidate = without | set(incoming)
+            gain = objective.value(candidate) - current_value
+            if gain > 0 and (best is None or gain > best[2]):
+                best = (tuple(incoming), tuple(outgoing), gain)
+    return best
+
+
+def k_swap_update(
+    objective: Objective, solution: Set[Element], k: int = 2
+) -> UpdateOutcome:
+    """Apply the best swap of *up to* ``k`` elements exactly once.
+
+    Tries swap sizes ``1 .. k`` and performs the single most improving one
+    (sizes are not chained — this is one update, the analogue of the oblivious
+    single-swap rule with a larger neighbourhood).
+    """
+    if k < 1:
+        raise InvalidParameterError("k must be at least 1")
+    current = set(solution)
+    best_move: Optional[Tuple[Tuple[Element, ...], Tuple[Element, ...], float]] = None
+    for size in range(1, k + 1):
+        move = best_k_swap(objective, current, size)
+        if move is not None and (best_move is None or move[2] > best_move[2]):
+            best_move = move
+    swaps: List[Tuple[Element, Element, float]] = []
+    if best_move is not None:
+        incoming, outgoing, gain = best_move
+        for element in outgoing:
+            current.remove(element)
+        for element in incoming:
+            current.add(element)
+        # Record the move pairwise so the outcome shape matches the 1-swap rule.
+        per_pair_gain = gain / len(incoming)
+        swaps.extend(
+            (inc, out, per_pair_gain) for inc, out in zip(incoming, outgoing)
+        )
+    return UpdateOutcome(
+        solution=frozenset(current),
+        swaps=tuple(swaps),
+        objective_value=objective.value(current),
+    )
+
+
+def required_updates_for_weight_decrease(
+    current_solution_value: float, delta: float, p: int
+) -> int:
+    """Theorem 4's update count ``⌈log_{(p-2)/(p-3)} w/(w-δ)⌉``.
+
+    Parameters
+    ----------
+    current_solution_value:
+        ``w`` — the value ``φ(S)`` of the solution before the weight decrease.
+    delta:
+        The magnitude of the decrease.
+    p:
+        The cardinality constraint.  For ``p ≤ 3`` (Corollary 3) a single
+        update always suffices.
+
+    Returns
+    -------
+    int
+        The number of oblivious updates sufficient to restore ratio 3.
+    """
+    if delta < 0:
+        raise InvalidParameterError("delta must be non-negative")
+    if current_solution_value < 0:
+        raise InvalidParameterError("the solution value must be non-negative")
+    if delta == 0:
+        return 0
+    if p <= 3:
+        return 1
+    if delta <= current_solution_value / (p - 2):
+        return 1
+    if delta >= current_solution_value:
+        # The whole solution value could be wiped out; the bound degenerates.
+        raise InvalidParameterError(
+            "Theorem 4 requires the decrease to be smaller than the solution value"
+        )
+    base = (p - 2) / (p - 3)
+    ratio = current_solution_value / (current_solution_value - delta)
+    return max(1, math.ceil(math.log(ratio, base)))

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish configuration mistakes from infeasibility.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A caller supplied a parameter outside its documented domain."""
+
+
+class MetricError(ReproError):
+    """A distance structure is malformed (non-symmetric, negative, ...)."""
+
+
+class TriangleInequalityError(MetricError):
+    """The supplied distances violate the (relaxed) triangle inequality."""
+
+
+class SetFunctionError(ReproError):
+    """A set-valuation function violates its documented contract."""
+
+
+class NotSubmodularError(SetFunctionError):
+    """A function declared submodular fails a submodularity check."""
+
+
+class NotMonotoneError(SetFunctionError):
+    """A function declared monotone fails a monotonicity check."""
+
+
+class MatroidError(ReproError):
+    """A matroid definition or operation is invalid."""
+
+
+class NotIndependentError(MatroidError):
+    """A set expected to be independent in the matroid is not."""
+
+
+class InfeasibleError(ReproError):
+    """No feasible solution exists for the requested constraint."""
+
+
+class SolverError(ReproError):
+    """An algorithm could not complete (bad configuration, oracle failure)."""
+
+
+class PerturbationError(ReproError):
+    """A dynamic-update perturbation is invalid for the current instance."""

@@ -1,0 +1,46 @@
+"""Experiment harness reproducing Section 7 of the paper.
+
+Each ``table*`` / ``figure1`` function regenerates the corresponding table or
+figure of the paper on synthetic stand-in data and returns both the raw rows
+and a formatted text rendering, so the benchmark targets in ``benchmarks/``
+and the ``EXPERIMENTS.md`` record are produced by the same code path.
+"""
+
+from repro.experiments.appendix import appendix_bad_instance
+from repro.experiments.dynamic_fig import figure1
+from repro.experiments.harness import (
+    ComparisonRow,
+    TrialAggregate,
+    aggregate_trials,
+    compare_algorithms,
+)
+from repro.experiments.reporting import format_table, rows_to_markdown
+from repro.experiments.tables import (
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+)
+
+__all__ = [
+    "ComparisonRow",
+    "TrialAggregate",
+    "compare_algorithms",
+    "aggregate_trials",
+    "format_table",
+    "rows_to_markdown",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "figure1",
+    "appendix_bad_instance",
+]

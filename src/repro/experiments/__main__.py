@@ -1,0 +1,94 @@
+"""Command-line entry point: ``python -m repro.experiments <target>``.
+
+Regenerates one of the paper's tables/figures (or all of them) and prints the
+rendered rows — the same code path the benchmark harness uses.
+
+Examples
+--------
+```
+python -m repro.experiments table1
+python -m repro.experiments table2 --quick
+python -m repro.experiments figure1 --quick
+python -m repro.experiments all --quick
+```
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.experiments import dynamic_fig, tables
+from repro.experiments.appendix import appendix_bad_instance, run_appendix_comparison
+from repro.experiments.reporting import format_table
+
+#: Parameter overrides used with ``--quick`` to keep every target under a few seconds.
+QUICK_OVERRIDES: Dict[str, dict] = {
+    "table1": {"n": 25, "trials": 2},
+    "table2": {"n": 100, "p_values": (5, 10, 20, 30), "trials": 1},
+    "table3": {"n": 25},
+    "table4": {"top_k": 25},
+    "table5": {"top_k": 80, "p_values": (5, 10, 20, 30)},
+    "table6": {"num_queries": 2, "top_k": 25, "p_values": (3, 4, 5)},
+    "table7": {"num_queries": 2, "docs_per_query": 80, "p_values": (5, 10, 20)},
+    "table8": {"top_k": 25},
+    "figure1": {"n": 10, "p": 4, "steps": 5, "repeats": 5},
+}
+
+
+def _run_table(name: str, quick: bool) -> str:
+    function: Callable = getattr(tables, name)
+    kwargs = QUICK_OVERRIDES.get(name, {}) if quick else {}
+    return function(**kwargs).render()
+
+
+def _run_figure1(quick: bool) -> str:
+    kwargs = QUICK_OVERRIDES["figure1"] if quick else {}
+    return dynamic_fig.figure1(**kwargs).render()
+
+
+def _run_appendix(quick: bool) -> str:
+    r_values = (6, 10, 20) if quick else (6, 10, 20, 40, 80)
+    rows = []
+    for r in r_values:
+        comparison = run_appendix_comparison(appendix_bad_instance(r=r))
+        rows.append([r, comparison["greedy_ratio"], comparison["local_search_ratio"]])
+    return format_table(
+        ["r", "greedy_ratio", "local_search_ratio"],
+        rows,
+        title="Appendix: partition-matroid bad instance",
+    )
+
+
+TARGETS = tuple(f"table{i}" for i in range(1, 9)) + ("figure1", "appendix", "all")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments", description=__doc__
+    )
+    parser.add_argument("target", choices=TARGETS, help="which experiment to regenerate")
+    parser.add_argument(
+        "--quick", action="store_true", help="use scaled-down parameters (seconds, not minutes)"
+    )
+    args = parser.parse_args(argv)
+
+    targets = (
+        [f"table{i}" for i in range(1, 9)] + ["figure1", "appendix"]
+        if args.target == "all"
+        else [args.target]
+    )
+    for target in targets:
+        if target == "figure1":
+            print(_run_figure1(args.quick))
+        elif target == "appendix":
+            print(_run_appendix(args.quick))
+        else:
+            print(_run_table(target, args.quick))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,151 @@
+"""Shared experiment plumbing.
+
+The paper's Section 7 methodology: for each parameter setting run several
+trials (5 on synthetic data), average each algorithm's objective value, and
+report
+
+* ``AF_ALG          = OPT-average / ALG-average``  (when OPT is computable),
+* ``AF_{ALG2/ALG1}  = ALG1-average / ALG2-average`` ("relative average
+  approximation"; values > 1 mean ALG2 is better),
+* average elapsed milliseconds per algorithm.
+
+:func:`compare_algorithms` runs one (instance, p) cell; :func:`aggregate_trials`
+averages a list of such cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Sequence
+
+from repro.core.objective import Objective
+from repro.core.result import SolverResult
+from repro.exceptions import InvalidParameterError
+
+#: A named algorithm: a callable from (objective, p) to a SolverResult.
+AlgorithmRunner = Callable[[Objective, int], SolverResult]
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One trial's results for one parameter setting.
+
+    Attributes
+    ----------
+    p:
+        The cardinality constraint of the cell.
+    values:
+        Algorithm name → objective value φ.
+    times_ms:
+        Algorithm name → elapsed milliseconds.
+    selections:
+        Algorithm name → selected element tuple (sorted).
+    optimal_value:
+        The exact optimum when it was computed, else ``None``.
+    """
+
+    p: int
+    values: Mapping[str, float]
+    times_ms: Mapping[str, float]
+    selections: Mapping[str, tuple]
+    optimal_value: Optional[float] = None
+
+    def approximation_factor(self, algorithm: str) -> Optional[float]:
+        """``OPT / ALG`` for one algorithm (``None`` when OPT is unknown)."""
+        if self.optimal_value is None:
+            return None
+        value = self.values[algorithm]
+        if value <= 1e-12:
+            return None
+        return self.optimal_value / value
+
+    def relative_factor(self, better: str, baseline: str) -> Optional[float]:
+        """``ALG_baseline-relative factor`` = value(better) / value(baseline)."""
+        baseline_value = self.values[baseline]
+        if baseline_value <= 1e-12:
+            return None
+        return self.values[better] / baseline_value
+
+
+@dataclass
+class TrialAggregate:
+    """Averages over several :class:`ComparisonRow` trials of one cell."""
+
+    p: int
+    mean_values: Dict[str, float] = field(default_factory=dict)
+    mean_times_ms: Dict[str, float] = field(default_factory=dict)
+    mean_optimal: Optional[float] = None
+    trials: int = 0
+
+    def approximation_factor(self, algorithm: str) -> Optional[float]:
+        """``OPT-average / ALG-average`` (the paper's AF)."""
+        if self.mean_optimal is None:
+            return None
+        value = self.mean_values.get(algorithm, 0.0)
+        if value <= 1e-12:
+            return None
+        return self.mean_optimal / value
+
+    def relative_factor(self, better: str, baseline: str) -> Optional[float]:
+        """``AF_{better/baseline}`` = mean(better) / mean(baseline)."""
+        baseline_value = self.mean_values.get(baseline, 0.0)
+        if baseline_value <= 1e-12:
+            return None
+        return self.mean_values[better] / baseline_value
+
+    def time_ratio(self, slow: str, fast: str) -> Optional[float]:
+        """``Time_slow / Time_fast`` (the paper's last column in Tables 2/5/7)."""
+        fast_time = self.mean_times_ms.get(fast, 0.0)
+        if fast_time <= 0:
+            return None
+        return self.mean_times_ms[slow] / fast_time
+
+
+def compare_algorithms(
+    objective: Objective,
+    p: int,
+    algorithms: Mapping[str, AlgorithmRunner],
+    *,
+    compute_optimal: Optional[Callable[[Objective, int], SolverResult]] = None,
+) -> ComparisonRow:
+    """Run every algorithm on one instance and collect one comparison row."""
+    if not algorithms:
+        raise InvalidParameterError("at least one algorithm is required")
+    values: Dict[str, float] = {}
+    times: Dict[str, float] = {}
+    selections: Dict[str, tuple] = {}
+    for name, runner in algorithms.items():
+        result = runner(objective, p)
+        values[name] = result.objective_value
+        times[name] = result.elapsed_ms
+        selections[name] = tuple(result.sorted_elements())
+    optimal_value = None
+    if compute_optimal is not None:
+        optimal_value = compute_optimal(objective, p).objective_value
+    return ComparisonRow(
+        p=p,
+        values=values,
+        times_ms=times,
+        selections=selections,
+        optimal_value=optimal_value,
+    )
+
+
+def aggregate_trials(rows: Sequence[ComparisonRow]) -> TrialAggregate:
+    """Average a list of trials (all for the same ``p``)."""
+    if not rows:
+        raise InvalidParameterError("cannot aggregate zero trials")
+    p_values = {row.p for row in rows}
+    if len(p_values) != 1:
+        raise InvalidParameterError(
+            f"all trials must share the same p; got {sorted(p_values)}"
+        )
+    aggregate = TrialAggregate(p=rows[0].p, trials=len(rows))
+    algorithm_names = rows[0].values.keys()
+    for name in algorithm_names:
+        aggregate.mean_values[name] = sum(row.values[name] for row in rows) / len(rows)
+        aggregate.mean_times_ms[name] = sum(row.times_ms[name] for row in rows) / len(rows)
+    optima = [row.optimal_value for row in rows if row.optimal_value is not None]
+    if optima and len(optima) == len(rows):
+        aggregate.mean_optimal = sum(optima) / len(optima)
+    return aggregate

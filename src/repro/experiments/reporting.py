@@ -1,0 +1,63 @@
+"""Plain-text and Markdown rendering of experiment tables.
+
+The benchmark harness prints the same rows the paper's tables report; these
+helpers keep the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+
+def _format_cell(value, *, precision: int = 3) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    title: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """Render an aligned plain-text table."""
+    rendered_rows = [[_format_cell(cell, precision=precision) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def rows_to_markdown(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    precision: int = 3,
+) -> str:
+    """Render a GitHub-flavoured Markdown table."""
+    rendered_rows = [[_format_cell(cell, precision=precision) for cell in row] for row in rows]
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join(["---"] * len(headers)) + "|")
+    for row in rendered_rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def dict_rows(
+    records: Sequence[Mapping[str, object]], columns: Sequence[str]
+) -> Sequence[Sequence]:
+    """Project a list of dict records onto an ordered column list."""
+    return [[record.get(column) for column in columns] for record in records]

@@ -1,0 +1,450 @@
+"""Reproduction of the paper's Tables 1–8 (Section 7).
+
+Every function returns a :class:`TableResult` containing the raw per-``p``
+records and a formatted text rendering matching the paper's columns.  All
+sizes are parameters so the pytest-benchmark targets can use scaled-down
+workloads while the paper-scale settings remain one call away; the defaults
+are the paper's settings.
+
+The LETOR tables use the synthetic LETOR-like corpus
+(:class:`repro.data.letor.SyntheticLetorCorpus`) — see DESIGN.md for the
+substitution rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.core.baselines import gollapudi_sharma_greedy
+from repro.core.exact import exact_diversify
+from repro.core.greedy import greedy_diversify
+from repro.core.local_search import refine_with_local_search
+from repro.core.objective import Objective
+from repro.core.result import SolverResult
+from repro.data.letor import LetorQueryData, SyntheticLetorCorpus
+from repro.data.synthetic import PAPER_SYNTHETIC_TRADEOFF, make_synthetic_instance
+from repro.experiments.harness import aggregate_trials, compare_algorithms
+from repro.experiments.reporting import format_table
+from repro.utils.rng import SeedLike, derive_seed
+
+#: Default p values for the small-universe (OPT-computable) tables.
+SMALL_P_VALUES = (3, 4, 5, 6, 7)
+
+#: Default p values for the large-universe tables (Tables 2, 5, 7).
+LARGE_P_VALUES = tuple(range(5, 80, 5))
+
+
+@dataclass
+class TableResult:
+    """A reproduced table: raw records plus a text rendering."""
+
+    name: str
+    headers: Sequence[str]
+    records: List[Dict[str, object]] = field(default_factory=list)
+
+    def rows(self) -> List[List[object]]:
+        """Project the records onto the header order."""
+        return [[record.get(h) for h in self.headers] for record in self.records]
+
+    def render(self) -> str:
+        """Aligned plain-text rendering (what the bench targets print)."""
+        return format_table(self.headers, self.rows(), title=self.name)
+
+
+# ----------------------------------------------------------------------
+# Algorithm bundles
+# ----------------------------------------------------------------------
+def _greedy_a(improved: bool = False) -> Callable[[Objective, int], SolverResult]:
+    def run(objective: Objective, p: int) -> SolverResult:
+        return gollapudi_sharma_greedy(objective, p, improved=improved)
+
+    return run
+
+
+def _greedy_b(start: str = "potential") -> Callable[[Objective, int], SolverResult]:
+    def run(objective: Objective, p: int) -> SolverResult:
+        return greedy_diversify(objective, p, start=start)
+
+    return run
+
+
+def _greedy_b_then_ls(
+    time_budget_multiple: float = 10.0,
+) -> Callable[[Objective, int], SolverResult]:
+    def run(objective: Objective, p: int) -> SolverResult:
+        seed = greedy_diversify(objective, p)
+        return refine_with_local_search(
+            objective, seed, p=p, time_budget_multiple=time_budget_multiple
+        )
+
+    return run
+
+
+def _exact(objective: Objective, p: int) -> SolverResult:
+    return exact_diversify(objective, p)
+
+
+# ----------------------------------------------------------------------
+# Synthetic tables (Section 7.1)
+# ----------------------------------------------------------------------
+def _synthetic_objectives(
+    n: int, trials: int, tradeoff: float, seed: SeedLike
+) -> List[Objective]:
+    return [
+        make_synthetic_instance(n, tradeoff=tradeoff, seed=derive_seed(seed, trial)).objective
+        for trial in range(trials)
+    ]
+
+
+def table1(
+    *,
+    n: int = 50,
+    p_values: Sequence[int] = SMALL_P_VALUES,
+    trials: int = 5,
+    tradeoff: float = PAPER_SYNTHETIC_TRADEOFF,
+    seed: SeedLike = 2012,
+) -> TableResult:
+    """Table 1: Greedy A vs Greedy B vs OPT on synthetic data (N = 50)."""
+    algorithms = {"GreedyA": _greedy_a(), "GreedyB": _greedy_b()}
+    objectives = _synthetic_objectives(n, trials, tradeoff, seed)
+    table = TableResult(
+        name=f"Table 1: Greedy A vs Greedy B (N={n}, {trials} trials, lambda={tradeoff})",
+        headers=["p", "OPT", "GreedyA", "GreedyB", "AF_GreedyA", "AF_GreedyB", "AF_B/A"],
+    )
+    for p in p_values:
+        rows = [
+            compare_algorithms(objective, p, algorithms, compute_optimal=_exact)
+            for objective in objectives
+        ]
+        aggregate = aggregate_trials(rows)
+        table.records.append(
+            {
+                "p": p,
+                "OPT": aggregate.mean_optimal,
+                "GreedyA": aggregate.mean_values["GreedyA"],
+                "GreedyB": aggregate.mean_values["GreedyB"],
+                "AF_GreedyA": aggregate.approximation_factor("GreedyA"),
+                "AF_GreedyB": aggregate.approximation_factor("GreedyB"),
+                "AF_B/A": aggregate.relative_factor("GreedyB", "GreedyA"),
+            }
+        )
+    return table
+
+
+def table2(
+    *,
+    n: int = 500,
+    p_values: Sequence[int] = LARGE_P_VALUES,
+    trials: int = 5,
+    tradeoff: float = PAPER_SYNTHETIC_TRADEOFF,
+    ls_budget_multiple: float = 10.0,
+    seed: SeedLike = 2013,
+) -> TableResult:
+    """Table 2: Greedy A vs Greedy B vs LS with timings on synthetic data (N = 500)."""
+    algorithms = {
+        "GreedyA": _greedy_a(),
+        "GreedyB": _greedy_b(),
+        "LS": _greedy_b_then_ls(ls_budget_multiple),
+    }
+    objectives = _synthetic_objectives(n, trials, tradeoff, seed)
+    table = TableResult(
+        name=f"Table 2: Greedy A vs Greedy B vs LS (N={n}, {trials} trials, lambda={tradeoff})",
+        headers=[
+            "p",
+            "GreedyA",
+            "GreedyB",
+            "LS",
+            "AF_B/A",
+            "AF_LS/B",
+            "Time_GreedyA_ms",
+            "Time_GreedyB_ms",
+            "TimeRatio_A/B",
+        ],
+    )
+    for p in p_values:
+        rows = [
+            compare_algorithms(objective, p, algorithms) for objective in objectives
+        ]
+        aggregate = aggregate_trials(rows)
+        table.records.append(
+            {
+                "p": p,
+                "GreedyA": aggregate.mean_values["GreedyA"],
+                "GreedyB": aggregate.mean_values["GreedyB"],
+                "LS": aggregate.mean_values["LS"],
+                "AF_B/A": aggregate.relative_factor("GreedyB", "GreedyA"),
+                "AF_LS/B": aggregate.relative_factor("LS", "GreedyB"),
+                "Time_GreedyA_ms": aggregate.mean_times_ms["GreedyA"],
+                "Time_GreedyB_ms": aggregate.mean_times_ms["GreedyB"],
+                "TimeRatio_A/B": aggregate.time_ratio("GreedyA", "GreedyB"),
+            }
+        )
+    return table
+
+
+def table3(
+    *,
+    n: int = 50,
+    p_values: Sequence[int] = SMALL_P_VALUES,
+    trials: int = 1,
+    tradeoff: float = PAPER_SYNTHETIC_TRADEOFF,
+    seed: SeedLike = 2014,
+) -> TableResult:
+    """Table 3: *improved* Greedy A vs *improved* Greedy B vs OPT (N = 50, 1 trial)."""
+    algorithms = {
+        "GreedyA": _greedy_a(improved=True),
+        "GreedyB": _greedy_b(start="best_pair"),
+    }
+    objectives = _synthetic_objectives(n, trials, tradeoff, seed)
+    table = TableResult(
+        name=f"Table 3: improved Greedy A vs improved Greedy B (N={n}, lambda={tradeoff})",
+        headers=["p", "OPT", "GreedyA", "GreedyB", "AF_GreedyA", "AF_GreedyB", "AF_B/A"],
+    )
+    for p in p_values:
+        rows = [
+            compare_algorithms(objective, p, algorithms, compute_optimal=_exact)
+            for objective in objectives
+        ]
+        aggregate = aggregate_trials(rows)
+        table.records.append(
+            {
+                "p": p,
+                "OPT": aggregate.mean_optimal,
+                "GreedyA": aggregate.mean_values["GreedyA"],
+                "GreedyB": aggregate.mean_values["GreedyB"],
+                "AF_GreedyA": aggregate.approximation_factor("GreedyA"),
+                "AF_GreedyB": aggregate.approximation_factor("GreedyB"),
+                "AF_B/A": aggregate.relative_factor("GreedyB", "GreedyA"),
+            }
+        )
+    return table
+
+
+# ----------------------------------------------------------------------
+# LETOR-like tables (Section 7.2)
+# ----------------------------------------------------------------------
+def _default_corpus(
+    *, num_queries: int, docs_per_query: int, seed: SeedLike
+) -> SyntheticLetorCorpus:
+    return SyntheticLetorCorpus(
+        num_queries=num_queries, docs_per_query=docs_per_query, seed=seed
+    )
+
+
+def table4(
+    *,
+    top_k: int = 50,
+    p_values: Sequence[int] = SMALL_P_VALUES,
+    tradeoff: float = PAPER_SYNTHETIC_TRADEOFF,
+    corpus: Optional[SyntheticLetorCorpus] = None,
+    query_id: int = 0,
+    seed: SeedLike = 2015,
+) -> TableResult:
+    """Table 4: Greedy A vs Greedy B vs OPT on one LETOR-like query (top-50 docs)."""
+    corpus = corpus or _default_corpus(num_queries=1, docs_per_query=max(top_k, 50), seed=seed)
+    query = corpus.query(query_id).top_documents(top_k)
+    objective = query.objective(tradeoff)
+    algorithms = {"GreedyA": _greedy_a(), "GreedyB": _greedy_b()}
+    table = TableResult(
+        name=f"Table 4: Greedy A vs Greedy B on LETOR-like data (top {top_k} documents)",
+        headers=["p", "OPT", "GreedyA", "GreedyB", "AF_GreedyA", "AF_GreedyB", "AF_B/A"],
+    )
+    for p in p_values:
+        row = compare_algorithms(objective, p, algorithms, compute_optimal=_exact)
+        aggregate = aggregate_trials([row])
+        table.records.append(
+            {
+                "p": p,
+                "OPT": aggregate.mean_optimal,
+                "GreedyA": aggregate.mean_values["GreedyA"],
+                "GreedyB": aggregate.mean_values["GreedyB"],
+                "AF_GreedyA": aggregate.approximation_factor("GreedyA"),
+                "AF_GreedyB": aggregate.approximation_factor("GreedyB"),
+                "AF_B/A": aggregate.relative_factor("GreedyB", "GreedyA"),
+            }
+        )
+    return table
+
+
+def table5(
+    *,
+    top_k: int = 370,
+    p_values: Sequence[int] = LARGE_P_VALUES,
+    tradeoff: float = PAPER_SYNTHETIC_TRADEOFF,
+    ls_budget_multiple: float = 10.0,
+    corpus: Optional[SyntheticLetorCorpus] = None,
+    query_id: int = 0,
+    seed: SeedLike = 2016,
+) -> TableResult:
+    """Table 5: Greedy A vs Greedy B vs LS on one LETOR-like query (top-370 docs)."""
+    corpus = corpus or _default_corpus(num_queries=1, docs_per_query=max(top_k, 370), seed=seed)
+    query = corpus.query(query_id).top_documents(top_k)
+    objective = query.objective(tradeoff)
+    algorithms = {
+        "GreedyA": _greedy_a(),
+        "GreedyB": _greedy_b(),
+        "LS": _greedy_b_then_ls(ls_budget_multiple),
+    }
+    table = TableResult(
+        name=f"Table 5: Greedy A vs Greedy B vs LS on LETOR-like data (top {top_k} documents)",
+        headers=[
+            "p",
+            "GreedyA",
+            "GreedyB",
+            "LS",
+            "AF_B/A",
+            "AF_LS/B",
+            "Time_GreedyA_ms",
+            "Time_GreedyB_ms",
+            "TimeRatio_A/B",
+        ],
+    )
+    for p in p_values:
+        row = compare_algorithms(objective, p, algorithms)
+        aggregate = aggregate_trials([row])
+        table.records.append(
+            {
+                "p": p,
+                "GreedyA": aggregate.mean_values["GreedyA"],
+                "GreedyB": aggregate.mean_values["GreedyB"],
+                "LS": aggregate.mean_values["LS"],
+                "AF_B/A": aggregate.relative_factor("GreedyB", "GreedyA"),
+                "AF_LS/B": aggregate.relative_factor("LS", "GreedyB"),
+                "Time_GreedyA_ms": aggregate.mean_times_ms["GreedyA"],
+                "Time_GreedyB_ms": aggregate.mean_times_ms["GreedyB"],
+                "TimeRatio_A/B": aggregate.time_ratio("GreedyA", "GreedyB"),
+            }
+        )
+    return table
+
+
+def table6(
+    *,
+    num_queries: int = 5,
+    top_k: int = 50,
+    p_values: Sequence[int] = SMALL_P_VALUES,
+    tradeoff: float = PAPER_SYNTHETIC_TRADEOFF,
+    corpus: Optional[SyntheticLetorCorpus] = None,
+    seed: SeedLike = 2017,
+) -> TableResult:
+    """Table 6: approximation factors averaged over several LETOR-like queries (top-50)."""
+    corpus = corpus or _default_corpus(
+        num_queries=num_queries, docs_per_query=max(top_k, 50), seed=seed
+    )
+    algorithms = {"GreedyA": _greedy_a(), "GreedyB": _greedy_b()}
+    table = TableResult(
+        name=f"Table 6: averaged over {corpus.num_queries} LETOR-like queries (top {top_k})",
+        headers=["p", "AF_GreedyA", "AF_GreedyB"],
+    )
+    for p in p_values:
+        rows = []
+        for query in corpus.queries():
+            objective = query.top_documents(top_k).objective(tradeoff)
+            rows.append(
+                compare_algorithms(objective, p, algorithms, compute_optimal=_exact)
+            )
+        factors_a = [row.approximation_factor("GreedyA") for row in rows]
+        factors_b = [row.approximation_factor("GreedyB") for row in rows]
+        table.records.append(
+            {
+                "p": p,
+                "AF_GreedyA": sum(factors_a) / len(factors_a),
+                "AF_GreedyB": sum(factors_b) / len(factors_b),
+            }
+        )
+    return table
+
+
+def table7(
+    *,
+    num_queries: int = 5,
+    docs_per_query: int = 370,
+    p_values: Sequence[int] = LARGE_P_VALUES,
+    tradeoff: float = PAPER_SYNTHETIC_TRADEOFF,
+    ls_budget_multiple: float = 10.0,
+    corpus: Optional[SyntheticLetorCorpus] = None,
+    seed: SeedLike = 2018,
+) -> TableResult:
+    """Table 7: relative factors and timings averaged over queries (all documents)."""
+    corpus = corpus or _default_corpus(
+        num_queries=num_queries, docs_per_query=docs_per_query, seed=seed
+    )
+    algorithms = {
+        "GreedyA": _greedy_a(),
+        "GreedyB": _greedy_b(),
+        "LS": _greedy_b_then_ls(ls_budget_multiple),
+    }
+    table = TableResult(
+        name=f"Table 7: averaged over {corpus.num_queries} LETOR-like queries (all documents)",
+        headers=[
+            "p",
+            "AF_B/A",
+            "AF_LS/B",
+            "Time_GreedyA_ms",
+            "Time_GreedyB_ms",
+            "TimeRatio_A/B",
+        ],
+    )
+    for p in p_values:
+        rows = []
+        for query in corpus.queries():
+            objective = query.objective(tradeoff)
+            rows.append(compare_algorithms(objective, p, algorithms))
+        relative_ba = [row.relative_factor("GreedyB", "GreedyA") for row in rows]
+        relative_lsb = [row.relative_factor("LS", "GreedyB") for row in rows]
+        time_a = [row.times_ms["GreedyA"] for row in rows]
+        time_b = [row.times_ms["GreedyB"] for row in rows]
+        table.records.append(
+            {
+                "p": p,
+                "AF_B/A": sum(relative_ba) / len(relative_ba),
+                "AF_LS/B": sum(relative_lsb) / len(relative_lsb),
+                "Time_GreedyA_ms": sum(time_a) / len(time_a),
+                "Time_GreedyB_ms": sum(time_b) / len(time_b),
+                "TimeRatio_A/B": (sum(time_a) / len(time_a)) / max(sum(time_b) / len(time_b), 1e-9),
+            }
+        )
+    return table
+
+
+def table8(
+    *,
+    top_k: int = 50,
+    p_values: Sequence[int] = SMALL_P_VALUES,
+    tradeoff: float = PAPER_SYNTHETIC_TRADEOFF,
+    corpus: Optional[SyntheticLetorCorpus] = None,
+    query_id: int = 0,
+    seed: SeedLike = 2015,
+) -> TableResult:
+    """Table 8: the document sets returned by Greedy A, Greedy B and OPT.
+
+    The paper's qualitative comparison: for each ``p``, which documents each
+    algorithm returns, and how many documents each algorithm's selection has
+    in common with the optimum.
+    """
+    corpus = corpus or _default_corpus(num_queries=1, docs_per_query=max(top_k, 50), seed=seed)
+    query = corpus.query(query_id).top_documents(top_k)
+    objective = query.objective(tradeoff)
+    table = TableResult(
+        name=f"Table 8: documents returned (top {top_k} documents)",
+        headers=["p", "GreedyA_docs", "GreedyB_docs", "OPT_docs", "A∩OPT", "B∩OPT"],
+    )
+    for p in p_values:
+        result_a = gollapudi_sharma_greedy(objective, p)
+        result_b = greedy_diversify(objective, p)
+        result_opt = exact_diversify(objective, p)
+        docs_a = tuple(result_a.sorted_elements())
+        docs_b = tuple(result_b.sorted_elements())
+        docs_opt = tuple(result_opt.sorted_elements())
+        table.records.append(
+            {
+                "p": p,
+                "GreedyA_docs": " ".join(map(str, docs_a)),
+                "GreedyB_docs": " ".join(map(str, docs_b)),
+                "OPT_docs": " ".join(map(str, docs_opt)),
+                "A∩OPT": len(set(docs_a) & set(docs_opt)),
+                "B∩OPT": len(set(docs_b) & set(docs_opt)),
+            }
+        )
+    return table

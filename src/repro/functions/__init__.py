@@ -1,0 +1,48 @@
+"""Set-valuation (quality) function substrate.
+
+The paper's objective combines a normalized monotone submodular quality
+function ``f(S)`` with the dispersion term.  This package provides the
+function interface, the modular case used by the experiments and the dynamic
+update section, several genuinely submodular families used by the examples
+and the submodular benches, and verification utilities.
+"""
+
+from repro.functions.base import SetFunction
+from repro.functions.coverage import CoverageFunction
+from repro.functions.facility_location import FacilityLocationFunction
+from repro.functions.log_det import LogDeterminantFunction
+from repro.functions.mixtures import MixtureFunction, ScaledFunction
+from repro.functions.modular import ModularFunction, ZeroFunction
+from repro.functions.saturated import SaturatedCoverageFunction
+from repro.functions.verification import (
+    check_monotone,
+    check_normalized,
+    check_submodular,
+    estimate_curvature,
+    is_monotone,
+    is_submodular,
+)
+from repro.functions.weakly_submodular import (
+    DispersionFunction,
+    submodularity_ratio,
+)
+
+__all__ = [
+    "SetFunction",
+    "ModularFunction",
+    "ZeroFunction",
+    "CoverageFunction",
+    "SaturatedCoverageFunction",
+    "FacilityLocationFunction",
+    "LogDeterminantFunction",
+    "MixtureFunction",
+    "ScaledFunction",
+    "check_monotone",
+    "check_normalized",
+    "check_submodular",
+    "estimate_curvature",
+    "is_monotone",
+    "is_submodular",
+    "DispersionFunction",
+    "submodularity_ratio",
+]

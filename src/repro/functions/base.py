@@ -1,0 +1,80 @@
+"""Abstract set-valuation function.
+
+Algorithms access quality functions only through :meth:`SetFunction.value`
+and :meth:`SetFunction.marginal` — exactly the value oracle the paper assumes
+("access to an oracle for finding an element maximizing f(S+u) - f(S)").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import FrozenSet, Iterable
+
+from repro._types import Element
+
+
+class SetFunction(ABC):
+    """A normalized set function ``f : 2^U -> R`` over ``U = {0, ..., n-1}``.
+
+    Subclasses implement :meth:`value`; the default :meth:`marginal` is the
+    two-evaluation difference, which concrete families override when a faster
+    incremental formula exists.
+    """
+
+    @property
+    @abstractmethod
+    def n(self) -> int:
+        """Number of elements in the ground set."""
+
+    @abstractmethod
+    def value(self, subset: Iterable[Element]) -> float:
+        """Return ``f(S)``.  Must satisfy ``f(∅) == 0`` (normalization)."""
+
+    def marginal(self, element: Element, subset: Iterable[Element]) -> float:
+        """Return ``f_u(S) = f(S + u) - f(S)``.
+
+        ``element`` may already belong to ``subset``, in which case the
+        marginal is zero by definition of set union.
+        """
+        base = self._as_set(subset)
+        if element in base:
+            return 0.0
+        return self.value(base | {element}) - self.value(base)
+
+    # ------------------------------------------------------------------
+    # Declared structure (used by solvers to pick valid algorithms and by
+    # the verification utilities to know what to check).
+    # ------------------------------------------------------------------
+    @property
+    def is_modular(self) -> bool:
+        """Whether the function is modular (linear).  Default: ``False``."""
+        return False
+
+    @property
+    def declares_submodular(self) -> bool:
+        """Whether the family is submodular by construction.  Default: ``True``."""
+        return True
+
+    @property
+    def declares_monotone(self) -> bool:
+        """Whether the family is monotone by construction.  Default: ``True``."""
+        return True
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _as_set(subset: Iterable[Element]) -> FrozenSet[Element]:
+        if isinstance(subset, frozenset):
+            return subset
+        return frozenset(subset)
+
+    def elements(self) -> range:
+        """Return the range of valid element indices."""
+        return range(self.n)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n={self.n})"

@@ -1,0 +1,105 @@
+"""Compositions of set functions.
+
+Non-negative linear combinations of monotone submodular functions are again
+monotone submodular, so mixtures let callers build richer quality models
+(e.g. coverage + facility location, as in the Lin–Bilmes summarization
+objective) while staying inside the class Theorem 1 covers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro._types import Element
+from repro.exceptions import InvalidParameterError
+from repro.functions.base import SetFunction
+
+
+class ScaledFunction(SetFunction):
+    """``g(S) = scale · f(S)`` for a non-negative scale."""
+
+    def __init__(self, function: SetFunction, scale: float) -> None:
+        if scale < 0:
+            raise InvalidParameterError("scale must be non-negative")
+        self._function = function
+        self._scale = float(scale)
+
+    @property
+    def n(self) -> int:
+        return self._function.n
+
+    @property
+    def scale(self) -> float:
+        """The multiplicative factor."""
+        return self._scale
+
+    def value(self, subset: Iterable[Element]) -> float:
+        return self._scale * self._function.value(subset)
+
+    def marginal(self, element: Element, subset: Iterable[Element]) -> float:
+        return self._scale * self._function.marginal(element, subset)
+
+    @property
+    def is_modular(self) -> bool:
+        return self._function.is_modular
+
+
+class MixtureFunction(SetFunction):
+    """``g(S) = Σ_k weight_k · f_k(S)`` for non-negative weights.
+
+    All components must share the same ground-set size.
+    """
+
+    def __init__(
+        self,
+        functions: Sequence[SetFunction],
+        weights: Sequence[float] | None = None,
+    ) -> None:
+        if not functions:
+            raise InvalidParameterError("a mixture needs at least one component")
+        sizes = {f.n for f in functions}
+        if len(sizes) != 1:
+            raise InvalidParameterError(
+                f"all components must share one ground-set size, got {sorted(sizes)}"
+            )
+        if weights is None:
+            weights = [1.0] * len(functions)
+        if len(weights) != len(functions):
+            raise InvalidParameterError("weights must match the number of components")
+        if any(w < 0 for w in weights):
+            raise InvalidParameterError("mixture weights must be non-negative")
+        self._functions = list(functions)
+        self._weights = [float(w) for w in weights]
+
+    @property
+    def n(self) -> int:
+        return self._functions[0].n
+
+    @property
+    def components(self) -> Sequence[SetFunction]:
+        """The component functions."""
+        return tuple(self._functions)
+
+    @property
+    def weights(self) -> Sequence[float]:
+        """The mixture weights."""
+        return tuple(self._weights)
+
+    def value(self, subset: Iterable[Element]) -> float:
+        members = self._as_set(subset)
+        return float(
+            sum(w * f.value(members) for w, f in zip(self._weights, self._functions))
+        )
+
+    def marginal(self, element: Element, subset: Iterable[Element]) -> float:
+        members = self._as_set(subset)
+        return float(
+            sum(
+                w * f.marginal(element, members)
+                for w, f in zip(self._weights, self._functions)
+            )
+        )
+
+    @property
+    def is_modular(self) -> bool:
+        return all(f.is_modular for f in self._functions)

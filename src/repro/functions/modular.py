@@ -1,0 +1,108 @@
+"""Modular (linear) quality functions.
+
+The modular case ``f(S) = Σ_{u ∈ S} w(u)`` is the setting of the original
+Gollapudi–Sharma diversification problem, of the paper's experiments
+(Section 7), and of the dynamic-update theory (Section 6), where the weights
+``w(u)`` change over time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+import numpy as np
+
+from repro._types import Element
+from repro.exceptions import InvalidParameterError
+from repro.functions.base import SetFunction
+
+
+class ModularFunction(SetFunction):
+    """``f(S) = Σ_{u ∈ S} w(u)`` for non-negative weights ``w``.
+
+    Weights are mutable through :meth:`set_weight` to support the
+    dynamic-update engine (Type I / Type II perturbations).
+    """
+
+    def __init__(self, weights: Union[np.ndarray, Iterable[float]]) -> None:
+        array = np.array(list(weights) if not isinstance(weights, np.ndarray) else weights,
+                         dtype=float)
+        if array.ndim != 1:
+            raise InvalidParameterError("weights must be a 1-D array")
+        if np.any(array < 0):
+            raise InvalidParameterError("weights must be non-negative")
+        self._weights = array
+
+    # ------------------------------------------------------------------
+    # SetFunction interface
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self._weights.shape[0]
+
+    def value(self, subset: Iterable[Element]) -> float:
+        members = self._as_set(subset)
+        if not members:
+            return 0.0
+        idx = np.fromiter(members, dtype=int)
+        return float(self._weights[idx].sum())
+
+    def marginal(self, element: Element, subset: Iterable[Element]) -> float:
+        members = self._as_set(subset)
+        if element in members:
+            return 0.0
+        return float(self._weights[element])
+
+    @property
+    def is_modular(self) -> bool:
+        return True
+
+    # ------------------------------------------------------------------
+    # Weight access / mutation (dynamic updates)
+    # ------------------------------------------------------------------
+    @property
+    def weights(self) -> np.ndarray:
+        """The weight vector (a copy; use :meth:`set_weight` to mutate)."""
+        return self._weights.copy()
+
+    def weight(self, element: Element) -> float:
+        """Return ``w(element)``."""
+        return float(self._weights[element])
+
+    def set_weight(self, element: Element, value: float) -> None:
+        """Set ``w(element) = value`` (must stay non-negative)."""
+        if value < 0:
+            raise InvalidParameterError("weights must be non-negative")
+        self._weights[element] = value
+
+    def copy(self) -> "ModularFunction":
+        """Return an independent copy (used by the dynamic engine)."""
+        return ModularFunction(self._weights.copy())
+
+
+class ZeroFunction(SetFunction):
+    """The identically-zero function.
+
+    With ``f ≡ 0`` the diversification objective degenerates to pure
+    max-sum dispersion, which is how Corollary 1 recovers the Ravi et al.
+    greedy dispersion guarantee from Theorem 1.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise InvalidParameterError("n must be non-negative")
+        self._n = int(n)
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def value(self, subset: Iterable[Element]) -> float:
+        return 0.0
+
+    def marginal(self, element: Element, subset: Iterable[Element]) -> float:
+        return 0.0
+
+    @property
+    def is_modular(self) -> bool:
+        return True

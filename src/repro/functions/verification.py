@@ -1,0 +1,186 @@
+"""Verification utilities for set functions.
+
+Exact (exponential) checks over small ground sets and sampled checks over
+large ones, used by the test suite's property tests and available to users
+who plug in their own quality functions.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, List, Optional, Tuple
+
+from repro.exceptions import (
+    InvalidParameterError,
+    NotMonotoneError,
+    NotSubmodularError,
+    SetFunctionError,
+)
+from repro.functions.base import SetFunction
+from repro.utils.rng import SeedLike, make_rng
+
+#: Numerical tolerance for all comparisons in this module.
+DEFAULT_TOLERANCE = 1e-9
+
+
+def _all_subsets(n: int, max_size: Optional[int] = None) -> Iterable[frozenset]:
+    limit = n if max_size is None else min(n, max_size)
+    for size in range(limit + 1):
+        for combo in combinations(range(n), size):
+            yield frozenset(combo)
+
+
+def check_normalized(function: SetFunction, *, tolerance: float = DEFAULT_TOLERANCE) -> None:
+    """Raise unless ``f(∅) == 0``."""
+    empty_value = function.value(frozenset())
+    if abs(empty_value) > tolerance:
+        raise SetFunctionError(f"function is not normalized: f(∅) = {empty_value}")
+
+
+def is_monotone(
+    function: SetFunction,
+    *,
+    exhaustive_limit: int = 12,
+    samples: int = 200,
+    tolerance: float = DEFAULT_TOLERANCE,
+    seed: SeedLike = None,
+) -> bool:
+    """Check ``f(S) <= f(T)`` whenever ``S ⊆ T``.
+
+    Uses the equivalent marginal characterization ``f_u(S) >= 0``: exhaustive
+    for ``n <= exhaustive_limit``, sampled otherwise.
+    """
+    n = function.n
+    if n <= exhaustive_limit:
+        for subset in _all_subsets(n):
+            for u in range(n):
+                if u in subset:
+                    continue
+                if function.marginal(u, subset) < -tolerance:
+                    return False
+        return True
+    rng = make_rng(seed)
+    for _ in range(samples):
+        size = int(rng.integers(0, n))
+        subset = frozenset(map(int, rng.choice(n, size=size, replace=False)))
+        u = int(rng.integers(0, n))
+        if u in subset:
+            continue
+        if function.marginal(u, subset) < -tolerance:
+            return False
+    return True
+
+
+def is_submodular(
+    function: SetFunction,
+    *,
+    exhaustive_limit: int = 10,
+    samples: int = 200,
+    tolerance: float = DEFAULT_TOLERANCE,
+    seed: SeedLike = None,
+) -> bool:
+    """Check decreasing marginal gains: ``f_u(T) <= f_u(S)`` for ``S ⊆ T``.
+
+    Exhaustive over all nested pairs for small ``n``; sampled otherwise.
+    """
+    n = function.n
+    if n <= exhaustive_limit:
+        for small in _all_subsets(n):
+            for extra in _all_subsets(n):
+                large = small | extra
+                for u in range(n):
+                    if u in large:
+                        continue
+                    gain_small = function.marginal(u, small)
+                    gain_large = function.marginal(u, large)
+                    if gain_large > gain_small + tolerance:
+                        return False
+        return True
+    rng = make_rng(seed)
+    for _ in range(samples):
+        size_small = int(rng.integers(0, n))
+        small = frozenset(map(int, rng.choice(n, size=size_small, replace=False)))
+        remaining = [v for v in range(n) if v not in small]
+        if not remaining:
+            continue
+        size_extra = int(rng.integers(0, len(remaining) + 1))
+        extra = frozenset(
+            map(int, rng.choice(remaining, size=size_extra, replace=False))
+        )
+        large = small | extra
+        candidates = [v for v in range(n) if v not in large]
+        if not candidates:
+            continue
+        u = int(rng.choice(candidates))
+        if function.marginal(u, large) > function.marginal(u, small) + tolerance:
+            return False
+    return True
+
+
+def check_monotone(function: SetFunction, **kwargs) -> None:
+    """Raise :class:`NotMonotoneError` when a monotonicity violation is found."""
+    if not is_monotone(function, **kwargs):
+        raise NotMonotoneError(f"{type(function).__name__} violates monotonicity")
+
+
+def check_submodular(function: SetFunction, **kwargs) -> None:
+    """Raise :class:`NotSubmodularError` when a submodularity violation is found."""
+    if not is_submodular(function, **kwargs):
+        raise NotSubmodularError(f"{type(function).__name__} violates submodularity")
+
+
+def estimate_curvature(
+    function: SetFunction,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> float:
+    """Estimate the total curvature ``c = 1 - min_u f_u(U - u) / f_u(∅)``.
+
+    Curvature 0 means modular; curvature 1 means some element's marginal
+    vanishes entirely once the rest of the universe is selected.  O(n) value
+    oracle calls with the full-set baseline, so suitable for moderate ``n``.
+    """
+    n = function.n
+    if n == 0:
+        return 0.0
+    universe = frozenset(range(n))
+    worst_ratio = 1.0
+    found = False
+    for u in range(n):
+        singleton_gain = function.marginal(u, frozenset())
+        if singleton_gain <= tolerance:
+            continue
+        rest_gain = function.marginal(u, universe - {u})
+        worst_ratio = min(worst_ratio, rest_gain / singleton_gain)
+        found = True
+    if not found:
+        return 0.0
+    return float(max(0.0, 1.0 - worst_ratio))
+
+
+def marginal_violations(
+    function: SetFunction,
+    *,
+    max_violations: int = 5,
+    tolerance: float = DEFAULT_TOLERANCE,
+    exhaustive_limit: int = 10,
+) -> List[Tuple[frozenset, frozenset, int, float]]:
+    """Enumerate submodularity violations ``(S, T, u, gap)`` on a small ground set."""
+    n = function.n
+    if n > exhaustive_limit:
+        raise InvalidParameterError(
+            f"marginal_violations is exhaustive; n={n} exceeds limit {exhaustive_limit}"
+        )
+    violations: List[Tuple[frozenset, frozenset, int, float]] = []
+    for small in _all_subsets(n):
+        for extra in _all_subsets(n):
+            large = small | extra
+            for u in range(n):
+                if u in large:
+                    continue
+                gap = function.marginal(u, large) - function.marginal(u, small)
+                if gap > tolerance:
+                    violations.append((small, large, u, float(gap)))
+                    if len(violations) >= max_violations:
+                        return violations
+    return violations

@@ -1,0 +1,149 @@
+"""Dispersion as a set function, and a submodularity-ratio diagnostic.
+
+Footnote 1 of the paper points out that the max-sum dispersion measure
+``d(S)`` is *not* submodular (it is supermodular) yet still well-behaved
+enough — later formalized by Borodin, Le and Ye as "weak submodularity" —
+for greedy and local search to keep constant factors on the combined
+objective.  This module provides the two pieces needed to study that
+behaviour empirically:
+
+* :class:`DispersionFunction` — ``g(S) = Σ_{ {u,v} ⊆ S } d(u, v)`` wrapped as
+  a :class:`~repro.functions.base.SetFunction` (monotone, normalized,
+  supermodular), so the dispersion measure can be passed anywhere a set
+  function is expected and analysed with the same verification tooling as the
+  quality functions.
+* :func:`submodularity_ratio` — the classical Das–Kempe-style diagnostic
+  ``γ = min over disjoint (S, T) of  Σ_{t ∈ T} g_t(S) / [g(S ∪ T) − g(S)]``.
+  Submodular functions have γ ≥ 1; modular functions have γ = 1 exactly; the
+  dispersion function has γ = 0 when empty bases are allowed (the joint gain
+  of a pair from ``S = ∅`` is positive while both individual marginals are
+  zero), which is precisely why the paper needs a bespoke analysis instead of
+  Nemhauser–Wolsey–Fisher.  The ``min_base_size`` parameter lets callers
+  exclude tiny bases and observe how quickly the ratio recovers.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Optional, Tuple
+
+from repro._types import Element
+from repro.exceptions import InvalidParameterError
+from repro.functions.base import SetFunction
+from repro.metrics.aggregates import set_distance
+from repro.metrics.base import Metric
+from repro.utils.rng import SeedLike, make_rng
+
+
+class DispersionFunction(SetFunction):
+    """The dispersion measure ``g(S) = Σ_{ {u,v} ⊆ S } d(u, v)`` as a set function.
+
+    Monotone and normalized but *supermodular*: marginal gains grow with the
+    set.  It is the term of the diversification objective that breaks plain
+    submodular-maximization machinery, which is what the paper's Theorems 1
+    and 2 work around.
+    """
+
+    def __init__(self, metric: Metric) -> None:
+        self._metric = metric
+
+    @property
+    def n(self) -> int:
+        return self._metric.n
+
+    @property
+    def metric(self) -> Metric:
+        """The underlying metric."""
+        return self._metric
+
+    def value(self, subset: Iterable[Element]) -> float:
+        return set_distance(self._metric, subset)
+
+    def marginal(self, element: Element, subset: Iterable[Element]) -> float:
+        members = self._as_set(subset)
+        if element in members:
+            return 0.0
+        return float(sum(self._metric.distance(element, v) for v in members))
+
+    @property
+    def declares_submodular(self) -> bool:
+        return False
+
+
+def _ratio_for_pair(
+    function: SetFunction, base: frozenset, extension: Tuple[Element, ...]
+) -> Optional[float]:
+    """Return ``Σ_t g_t(S) / (g(S+T) − g(S))``, or ``None`` when the joint gain is ~0."""
+    joint = function.value(base | set(extension)) - function.value(base)
+    if joint <= 1e-12:
+        return None
+    individual = sum(function.marginal(t, base) for t in extension)
+    return individual / joint
+
+
+def submodularity_ratio(
+    function: SetFunction,
+    *,
+    min_base_size: int = 0,
+    max_extension: int = 4,
+    exhaustive_limit: int = 8,
+    samples: int = 300,
+    seed: SeedLike = None,
+) -> float:
+    """Worst observed ratio ``Σ_t g_t(S) / [g(S ∪ T) − g(S)]`` over disjoint (S, T).
+
+    Parameters
+    ----------
+    function:
+        The set function to probe.
+    min_base_size:
+        Only consider bases ``S`` with at least this many elements (0 includes
+        the empty set).
+    max_extension:
+        Largest extension ``|T|`` considered (extensions have at least 2
+        elements; single-element extensions always have ratio 1).
+    exhaustive_limit:
+        Exhaustive enumeration is used for ``n`` up to this value; random
+        sampling otherwise.
+    samples, seed:
+        Sampling budget and seed for the large-``n`` mode.
+
+    Returns
+    -------
+    float
+        The smallest ratio found (``inf`` if no pair had a positive joint gain).
+    """
+    if min_base_size < 0:
+        raise InvalidParameterError("min_base_size must be non-negative")
+    if max_extension < 2:
+        raise InvalidParameterError("max_extension must be at least 2")
+    n = function.n
+    worst = float("inf")
+    if n <= exhaustive_limit:
+        universe = range(n)
+        for base_size in range(min_base_size, max(n - 1, 0)):
+            for base in combinations(universe, base_size):
+                base_set = frozenset(base)
+                rest = [u for u in universe if u not in base_set]
+                for ext_size in range(2, min(max_extension, len(rest)) + 1):
+                    for extension in combinations(rest, ext_size):
+                        ratio = _ratio_for_pair(function, base_set, extension)
+                        if ratio is not None:
+                            worst = min(worst, ratio)
+        return worst
+    rng = make_rng(seed)
+    for _ in range(samples):
+        upper = n - 2
+        if upper <= min_base_size:
+            break
+        base_size = int(rng.integers(min_base_size, upper))
+        base = frozenset(map(int, rng.choice(n, size=base_size, replace=False)))
+        rest = [u for u in range(n) if u not in base]
+        if len(rest) < 2:
+            continue
+        ext_size = int(rng.integers(2, min(max_extension, len(rest)) + 1))
+        extension = tuple(map(int, rng.choice(rest, size=ext_size, replace=False)))
+        ratio = _ratio_for_pair(function, base, extension)
+        if ratio is not None:
+            worst = min(worst, ratio)
+    return worst

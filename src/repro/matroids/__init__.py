@@ -1,0 +1,31 @@
+"""Matroid substrate.
+
+Section 5 of the paper generalizes the cardinality constraint to independence
+in an arbitrary matroid.  This package provides the matroid interface used by
+the local-search solver plus the concrete families the paper names: uniform
+(cardinality), partition, transversal, graphic, and truncation (intersection
+with a uniform matroid).  The Brualdi exchange bijection (Lemma 2) used in
+Theorem 2's analysis is implemented in :mod:`repro.matroids.exchange` and
+exercised by the property tests.
+"""
+
+from repro.matroids.base import Matroid
+from repro.matroids.exchange import exchange_bijection
+from repro.matroids.graphic import GraphicMatroid
+from repro.matroids.matching import hopcroft_karp, maximum_bipartite_matching
+from repro.matroids.partition import PartitionMatroid
+from repro.matroids.transversal import TransversalMatroid
+from repro.matroids.truncation import TruncatedMatroid
+from repro.matroids.uniform import UniformMatroid
+
+__all__ = [
+    "Matroid",
+    "UniformMatroid",
+    "PartitionMatroid",
+    "TransversalMatroid",
+    "GraphicMatroid",
+    "TruncatedMatroid",
+    "exchange_bijection",
+    "hopcroft_karp",
+    "maximum_bipartite_matching",
+]

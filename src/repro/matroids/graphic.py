@@ -1,0 +1,102 @@
+"""Graphic matroids.
+
+Ground-set elements are the edges of an undirected multigraph; a set of edges
+is independent iff it is acyclic (a forest).  Included both as a further
+standard matroid family for the local-search solver and as a stress test for
+the generic matroid machinery (its independence structure is not a simple
+counting constraint).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro._types import Element
+from repro.exceptions import InvalidParameterError
+from repro.matroids.base import Matroid
+
+
+class _UnionFind:
+    """Union-find with path compression and union by rank."""
+
+    def __init__(self, size: int) -> None:
+        self._parent = list(range(size))
+        self._rank = [0] * size
+
+    def find(self, x: int) -> int:
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, x: int, y: int) -> bool:
+        root_x, root_y = self.find(x), self.find(y)
+        if root_x == root_y:
+            return False
+        if self._rank[root_x] < self._rank[root_y]:
+            root_x, root_y = root_y, root_x
+        self._parent[root_y] = root_x
+        if self._rank[root_x] == self._rank[root_y]:
+            self._rank[root_x] += 1
+        return True
+
+
+class GraphicMatroid(Matroid):
+    """The cycle matroid of an undirected multigraph.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of graph vertices.
+    edges:
+        ``edges[i] = (a, b)`` — ground-set element ``i`` is the edge ``{a, b}``.
+        Self-loops are allowed but are never independent (they form a cycle).
+    """
+
+    def __init__(self, num_vertices: int, edges: Sequence[Tuple[int, int]]) -> None:
+        if num_vertices < 0:
+            raise InvalidParameterError("num_vertices must be non-negative")
+        self._num_vertices = int(num_vertices)
+        self._edges: List[Tuple[int, int]] = []
+        for index, (a, b) in enumerate(edges):
+            if not (0 <= a < num_vertices and 0 <= b < num_vertices):
+                raise InvalidParameterError(
+                    f"edge {index} = ({a}, {b}) has an out-of-range endpoint"
+                )
+            self._edges.append((int(a), int(b)))
+
+    @property
+    def n(self) -> int:
+        return len(self._edges)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices of the underlying graph."""
+        return self._num_vertices
+
+    def edge(self, element: Element) -> Tuple[int, int]:
+        """Return the endpoints of edge ``element``."""
+        return self._edges[element]
+
+    def is_independent(self, subset: Iterable[Element]) -> bool:
+        members = set(subset)
+        if any(e < 0 or e >= self.n for e in members):
+            return False
+        forest = _UnionFind(self._num_vertices)
+        for element in members:
+            a, b = self._edges[element]
+            if a == b or not forest.union(a, b):
+                return False
+        return True
+
+    def rank(self, subset: Optional[Iterable[Element]] = None) -> int:
+        members = range(self.n) if subset is None else set(subset)
+        forest = _UnionFind(self._num_vertices)
+        count = 0
+        for element in members:
+            a, b = self._edges[element]
+            if a != b and forest.union(a, b):
+                count += 1
+        return count

@@ -1,0 +1,89 @@
+"""Transversal matroids.
+
+Given a collection ``C_1, ..., C_m`` of (possibly overlapping) subsets of the
+universe, a set ``S`` is independent iff its elements can be matched to
+distinct sets ``C_i`` containing them — i.e. ``S`` is a partial system of
+distinct representatives.  The paper motivates this with database tuples that
+must each represent a different source collection.
+
+Independence is decided by maximum bipartite matching (Hopcroft–Karp).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence
+
+from repro._types import Element
+from repro.exceptions import InvalidParameterError
+from repro.matroids.base import Matroid
+from repro.matroids.matching import hopcroft_karp
+
+
+class TransversalMatroid(Matroid):
+    """The transversal matroid induced by a collection of subsets.
+
+    Parameters
+    ----------
+    n:
+        Size of the universe.
+    collections:
+        Sequence of element subsets ``C_1, ..., C_m``.
+    """
+
+    def __init__(self, n: int, collections: Sequence[Iterable[Element]]) -> None:
+        if n < 0:
+            raise InvalidParameterError("n must be non-negative")
+        self._n = int(n)
+        self._collections: List[FrozenSet[Element]] = []
+        for index, collection in enumerate(collections):
+            members = frozenset(collection)
+            for element in members:
+                if element < 0 or element >= n:
+                    raise InvalidParameterError(
+                        f"collection {index} contains out-of-range element {element}"
+                    )
+            self._collections.append(members)
+        # element -> indices of collections containing it
+        self._memberships: Dict[Element, List[int]] = {e: [] for e in range(self._n)}
+        for index, members in enumerate(self._collections):
+            for element in members:
+                self._memberships[element].append(index)
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def collections(self) -> Sequence[FrozenSet[Element]]:
+        """The defining collection of subsets."""
+        return tuple(self._collections)
+
+    def is_independent(self, subset: Iterable[Element]) -> bool:
+        members = list(dict.fromkeys(subset))
+        if any(e < 0 or e >= self._n for e in members):
+            return False
+        if not members:
+            return True
+        adjacency = {
+            i: self._memberships[element] for i, element in enumerate(members)
+        }
+        if any(not neighbors for neighbors in adjacency.values()):
+            return False
+        matching = hopcroft_karp(adjacency, len(members), len(self._collections))
+        return len(matching) == len(members)
+
+    def representatives(
+        self, subset: Iterable[Element]
+    ) -> Optional[Dict[Element, int]]:
+        """Return a matching element -> collection index certifying independence.
+
+        Returns ``None`` when the subset is dependent.
+        """
+        members = list(dict.fromkeys(subset))
+        adjacency = {
+            i: self._memberships.get(element, []) for i, element in enumerate(members)
+        }
+        matching = hopcroft_karp(adjacency, len(members), len(self._collections))
+        if len(matching) != len(members):
+            return None
+        return {members[i]: collection for i, collection in matching.items()}

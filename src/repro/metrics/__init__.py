@@ -1,0 +1,53 @@
+"""Metric-space substrate.
+
+The paper's diversification objective requires a metric distance ``d(·,·)``
+over the ground set.  This package provides:
+
+* :class:`~repro.metrics.base.Metric` — the abstract interface algorithms use.
+* :class:`~repro.metrics.matrix.DistanceMatrix` — an explicit, mutable
+  pairwise-distance matrix (the representation used for dynamic updates).
+* Concrete metrics: Euclidean, cosine-distance, the discrete ``{1, 2}`` metric
+  the hardness reduction in Section 3 relies on, and the uniform-random
+  ``[1, 2]`` metric used for the synthetic experiments.
+* :mod:`~repro.metrics.aggregates` — incremental maintenance of set distances
+  ``d(S)``, ``d(S, T)`` and per-element marginals ``d_u(S)`` in O(1) per
+  update (the Birnbaum–Goldman bookkeeping that makes the greedy run in
+  O(np)).
+* :mod:`~repro.metrics.validation` — exact and sampled checks of metric axioms
+  and of the α-relaxed triangle inequality discussed in Section 8.
+"""
+
+from repro.metrics.aggregates import (
+    MarginalDistanceTracker,
+    set_cross_distance,
+    set_distance,
+)
+from repro.metrics.base import Metric
+from repro.metrics.cosine import CosineMetric
+from repro.metrics.discrete import DiscreteMetric, UniformRandomMetric, one_two_metric
+from repro.metrics.euclidean import EuclideanMetric
+from repro.metrics.matrix import DistanceMatrix
+from repro.metrics.relaxed import relaxation_parameter, satisfies_relaxed_triangle
+from repro.metrics.validation import (
+    check_metric,
+    is_metric,
+    triangle_violations,
+)
+
+__all__ = [
+    "Metric",
+    "DistanceMatrix",
+    "EuclideanMetric",
+    "CosineMetric",
+    "DiscreteMetric",
+    "UniformRandomMetric",
+    "one_two_metric",
+    "MarginalDistanceTracker",
+    "set_distance",
+    "set_cross_distance",
+    "check_metric",
+    "is_metric",
+    "triangle_violations",
+    "relaxation_parameter",
+    "satisfies_relaxed_triangle",
+]

@@ -1,0 +1,69 @@
+"""Abstract metric interface.
+
+All diversification algorithms in :mod:`repro.core` interact with distances
+through this interface, so any structure that can answer ``distance(u, v)``
+queries (an explicit matrix, a feature-vector metric, a wrapper around an
+external index) can be plugged in.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator, Tuple
+
+import numpy as np
+
+from repro._types import Element
+
+
+class Metric(ABC):
+    """A symmetric, non-negative distance over ``{0, ..., n-1}``.
+
+    Subclasses must implement :meth:`distance` and :attr:`n`.  The default
+    implementations of the bulk helpers fall back to pairwise queries;
+    matrix-backed metrics override them with vectorized versions.
+    """
+
+    @property
+    @abstractmethod
+    def n(self) -> int:
+        """Number of elements in the ground set."""
+
+    @abstractmethod
+    def distance(self, u: Element, v: Element) -> float:
+        """Return ``d(u, v)``.  Must be symmetric with ``d(u, u) == 0``."""
+
+    # ------------------------------------------------------------------
+    # Bulk helpers
+    # ------------------------------------------------------------------
+    def distances_from(self, u: Element, targets: Iterable[Element]) -> np.ndarray:
+        """Return the vector of distances from ``u`` to each target."""
+        return np.array([self.distance(u, v) for v in targets], dtype=float)
+
+    def to_matrix(self) -> np.ndarray:
+        """Materialize the full ``n x n`` distance matrix."""
+        n = self.n
+        matrix = np.zeros((n, n), dtype=float)
+        for u in range(n):
+            for v in range(u + 1, n):
+                d = self.distance(u, v)
+                matrix[u, v] = d
+                matrix[v, u] = d
+        return matrix
+
+    def pairs(self) -> Iterator[Tuple[Element, Element, float]]:
+        """Yield every unordered pair ``(u, v, d(u, v))`` with ``u < v``."""
+        n = self.n
+        for u in range(n):
+            for v in range(u + 1, n):
+                yield u, v, self.distance(u, v)
+
+    def elements(self) -> range:
+        """Return the range of valid element indices."""
+        return range(self.n)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n={self.n})"

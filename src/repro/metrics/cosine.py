@@ -1,0 +1,76 @@
+"""Cosine-distance metric over feature vectors.
+
+Section 7.2 of the paper defines the document distance as the cosine
+(dis)similarity between LETOR feature vectors.  Cosine *distance*
+``1 - cos(u, v)`` on non-negative vectors is a well-behaved semi-metric; on
+unit-normalized non-negative vectors it satisfies the triangle inequality up
+to a small relaxation factor, and the library's relaxed-metric utilities can
+quantify that factor (Section 8 / Sydow's 2α result).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro._types import Element
+from repro.exceptions import InvalidParameterError
+from repro.metrics.base import Metric
+
+
+class CosineMetric(Metric):
+    """``d(u, v) = 1 - cos(x_u, x_v)`` over rows of a feature matrix.
+
+    Parameters
+    ----------
+    features:
+        Array of shape ``(n, d)`` with no all-zero rows.
+    shift:
+        Optional constant added to every off-diagonal distance.  A positive
+        shift (the generators use it) makes the distance a true metric: any
+        semi-metric with values in ``[shift, 2·shift]`` satisfies the triangle
+        inequality.
+    """
+
+    def __init__(self, features: np.ndarray, *, shift: float = 0.0) -> None:
+        array = np.asarray(features, dtype=float)
+        if array.ndim != 2:
+            raise InvalidParameterError("features must be a 2-D array")
+        norms = np.linalg.norm(array, axis=1)
+        if np.any(norms == 0):
+            raise InvalidParameterError("feature vectors must be non-zero")
+        if shift < 0:
+            raise InvalidParameterError("shift must be non-negative")
+        self._unit = array / norms[:, None]
+        self._shift = float(shift)
+
+    @property
+    def n(self) -> int:
+        return self._unit.shape[0]
+
+    @property
+    def shift(self) -> float:
+        """The additive shift applied to off-diagonal distances."""
+        return self._shift
+
+    def distance(self, u: Element, v: Element) -> float:
+        if u == v:
+            return 0.0
+        cos = float(np.clip(np.dot(self._unit[u], self._unit[v]), -1.0, 1.0))
+        return max(1.0 - cos, 0.0) + self._shift
+
+    def distances_from(self, u: Element, targets: Iterable[Element]) -> np.ndarray:
+        idx = np.fromiter(targets, dtype=int)
+        if idx.size == 0:
+            return np.zeros(0, dtype=float)
+        cos = np.clip(self._unit[idx] @ self._unit[u], -1.0, 1.0)
+        distances = np.maximum(1.0 - cos, 0.0) + self._shift
+        distances[idx == u] = 0.0
+        return distances
+
+    def to_matrix(self) -> np.ndarray:
+        cos = np.clip(self._unit @ self._unit.T, -1.0, 1.0)
+        matrix = np.maximum(1.0 - cos, 0.0) + self._shift
+        np.fill_diagonal(matrix, 0.0)
+        return (matrix + matrix.T) / 2.0

@@ -1,0 +1,108 @@
+"""Discrete metrics: the ``{1, 2}`` metric and uniform-random ``[lo, hi]`` metrics.
+
+Two constructions from the paper live here:
+
+* The **{1, 2} metric** used in Section 3's hardness discussion (distances of
+  adjacent nodes are 1, of non-adjacent nodes are 2).  Any symmetric
+  assignment of values from ``{1, 2}`` (more generally from ``[c, 2c]``) is
+  automatically a metric, because ``d(x, z) ≤ 2c ≤ d(x, y) + d(y, z)``.
+* The **uniform-random [1, 2] metric** of Section 7.1's synthetic data sets:
+  every pairwise distance is drawn independently from ``U[1, 2]``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.metrics.matrix import DistanceMatrix
+from repro.utils.rng import SeedLike, make_rng
+
+
+class DiscreteMetric(DistanceMatrix):
+    """A metric whose off-diagonal distances all lie in ``[base, 2·base]``.
+
+    The constructor verifies the range, which is a sufficient condition for
+    the triangle inequality, so no O(n^3) check is needed.
+    """
+
+    def __init__(self, matrix: np.ndarray, *, base: float = 1.0) -> None:
+        array = np.asarray(matrix, dtype=float)
+        if base <= 0:
+            raise InvalidParameterError("base must be positive")
+        off_diagonal = array[~np.eye(array.shape[0], dtype=bool)]
+        if off_diagonal.size and (
+            np.any(off_diagonal < base - 1e-12)
+            or np.any(off_diagonal > 2 * base + 1e-12)
+        ):
+            raise InvalidParameterError(
+                f"off-diagonal distances must lie in [{base}, {2 * base}]"
+            )
+        super().__init__(array, copy=True)
+        self._base = float(base)
+
+    @property
+    def base(self) -> float:
+        """The lower bound ``c`` of the ``[c, 2c]`` range."""
+        return self._base
+
+
+def one_two_metric(
+    adjacency: np.ndarray,
+) -> DiscreteMetric:
+    """Build the graph-induced ``{1, 2}`` metric of Section 3.
+
+    Adjacent vertices get distance 1, non-adjacent distinct vertices get
+    distance 2 (the shortest-path metric of the graph augmented with a
+    universal vertex, as in the planted-clique hardness argument).
+
+    Parameters
+    ----------
+    adjacency:
+        Symmetric boolean (or 0/1) adjacency matrix.
+    """
+    adj = np.asarray(adjacency)
+    if adj.ndim != 2 or adj.shape[0] != adj.shape[1]:
+        raise InvalidParameterError("adjacency must be a square matrix")
+    if not np.array_equal(adj, adj.T):
+        raise InvalidParameterError("adjacency must be symmetric")
+    n = adj.shape[0]
+    matrix = np.where(adj.astype(bool), 1.0, 2.0)
+    np.fill_diagonal(matrix, 0.0)
+    if n == 0:
+        matrix = np.zeros((0, 0))
+    return DiscreteMetric(matrix, base=1.0)
+
+
+class UniformRandomMetric(DiscreteMetric):
+    """The synthetic metric of Section 7.1: i.i.d. ``U[low, high]`` distances.
+
+    With ``low=1, high=2`` (the paper's setting) every draw lands in
+    ``[1, 2]`` so the result is a metric by construction.  Other ranges are
+    accepted as long as ``high <= 2 * low``.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        low: float = 1.0,
+        high: float = 2.0,
+        seed: Optional[SeedLike] = None,
+    ) -> None:
+        if n < 0:
+            raise InvalidParameterError("n must be non-negative")
+        if low <= 0 or high < low:
+            raise InvalidParameterError("need 0 < low <= high")
+        if high > 2 * low + 1e-12:
+            raise InvalidParameterError(
+                "high must be at most 2*low for the draws to form a metric"
+            )
+        rng = make_rng(seed)
+        matrix = np.zeros((n, n), dtype=float)
+        upper = np.triu_indices(n, k=1)
+        matrix[upper] = rng.uniform(low, high, size=len(upper[0]))
+        matrix = matrix + matrix.T
+        super().__init__(matrix, base=low)

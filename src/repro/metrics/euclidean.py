@@ -1,0 +1,65 @@
+"""Euclidean metric over feature vectors.
+
+Used by the geographic / facility-location example scenarios (the dispersion
+roots of the problem in location theory, Section 3) and by the portfolio
+generator where stocks are embedded by their risk/return profile.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro._types import Element
+from repro.exceptions import InvalidParameterError
+from repro.metrics.base import Metric
+
+
+class EuclideanMetric(Metric):
+    """The ℓ2 distance between rows of a point matrix.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n, d)``; row ``i`` is the embedding of element ``i``.
+    """
+
+    def __init__(self, points: np.ndarray) -> None:
+        array = np.asarray(points, dtype=float)
+        if array.ndim == 1:
+            array = array[:, None]
+        if array.ndim != 2:
+            raise InvalidParameterError("points must be a 1-D or 2-D array")
+        self._points = array
+
+    @property
+    def n(self) -> int:
+        return self._points.shape[0]
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality of the embedding space."""
+        return self._points.shape[1]
+
+    @property
+    def points(self) -> np.ndarray:
+        """The underlying point matrix (read-only view semantics by convention)."""
+        return self._points
+
+    def distance(self, u: Element, v: Element) -> float:
+        diff = self._points[u] - self._points[v]
+        return float(np.sqrt(np.dot(diff, diff)))
+
+    def distances_from(self, u: Element, targets: Iterable[Element]) -> np.ndarray:
+        idx = np.fromiter(targets, dtype=int)
+        if idx.size == 0:
+            return np.zeros(0, dtype=float)
+        diff = self._points[idx] - self._points[u]
+        return np.sqrt(np.sum(diff * diff, axis=1))
+
+    def to_matrix(self) -> np.ndarray:
+        diff = self._points[:, None, :] - self._points[None, :, :]
+        matrix = np.sqrt(np.sum(diff * diff, axis=-1))
+        np.fill_diagonal(matrix, 0.0)
+        return matrix

@@ -1,0 +1,164 @@
+"""Explicit pairwise-distance matrices.
+
+:class:`DistanceMatrix` is the work-horse representation: the synthetic and
+LETOR-like generators produce one, the dynamic-update engine mutates one, and
+every other metric can be materialized into one via
+:meth:`repro.metrics.base.Metric.to_matrix`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro._types import Element
+from repro.exceptions import InvalidParameterError, MetricError
+from repro.metrics.base import Metric
+
+
+class DistanceMatrix(Metric):
+    """A metric backed by an explicit symmetric ``n x n`` matrix.
+
+    Parameters
+    ----------
+    matrix:
+        Square array of pairwise distances.  The constructor symmetrizes
+        nothing: a non-symmetric or negative input raises
+        :class:`~repro.exceptions.MetricError`.
+    validate_triangle:
+        When ``True`` the constructor additionally verifies the triangle
+        inequality exactly (O(n^3)); useful in tests, too slow for large
+        instances.
+    copy:
+        Whether to copy the input array.  The dynamic-update engine passes
+        ``copy=False`` to share storage it is allowed to mutate.
+    """
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        *,
+        validate_triangle: bool = False,
+        copy: bool = True,
+    ) -> None:
+        array = np.array(matrix, dtype=float, copy=copy)
+        if array.ndim != 2 or array.shape[0] != array.shape[1]:
+            raise InvalidParameterError(
+                f"distance matrix must be square, got shape {array.shape}"
+            )
+        if not np.allclose(array, array.T, atol=1e-12):
+            raise MetricError("distance matrix must be symmetric")
+        if np.any(array < 0):
+            raise MetricError("distances must be non-negative")
+        if not np.allclose(np.diag(array), 0.0, atol=1e-12):
+            raise MetricError("self-distances d(u, u) must be zero")
+        self._matrix = array
+        if validate_triangle:
+            from repro.metrics.validation import check_metric
+
+            check_metric(self)
+
+    # ------------------------------------------------------------------
+    # Metric interface
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self._matrix.shape[0]
+
+    def distance(self, u: Element, v: Element) -> float:
+        return float(self._matrix[u, v])
+
+    def distances_from(self, u: Element, targets: Iterable[Element]) -> np.ndarray:
+        idx = np.fromiter(targets, dtype=int)
+        if idx.size == 0:
+            return np.zeros(0, dtype=float)
+        return self._matrix[u, idx]
+
+    def to_matrix(self) -> np.ndarray:
+        return self._matrix.copy()
+
+    # ------------------------------------------------------------------
+    # Mutation (dynamic updates, Section 6)
+    # ------------------------------------------------------------------
+    @property
+    def array(self) -> np.ndarray:
+        """The underlying matrix (mutations must preserve metric axioms)."""
+        return self._matrix
+
+    def set_distance(self, u: Element, v: Element, value: float) -> None:
+        """Set ``d(u, v) = d(v, u) = value`` (used by distance perturbations)."""
+        if u == v:
+            raise InvalidParameterError("cannot change a self-distance")
+        if value < 0:
+            raise MetricError(f"distances must be non-negative, got {value}")
+        self._matrix[u, v] = value
+        self._matrix[v, u] = value
+
+    def copy(self) -> "DistanceMatrix":
+        """Return an independent copy of this matrix."""
+        return DistanceMatrix(self._matrix, copy=True)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_points(
+        cls, points: np.ndarray, *, metric: str = "euclidean"
+    ) -> "DistanceMatrix":
+        """Build the matrix of pairwise distances between row vectors.
+
+        Parameters
+        ----------
+        points:
+            Array of shape ``(n, d)``.
+        metric:
+            Either ``"euclidean"`` or ``"cosine"``.
+        """
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2:
+            raise InvalidParameterError("points must be a 2-D array")
+        if metric == "euclidean":
+            diff = points[:, None, :] - points[None, :, :]
+            matrix = np.sqrt(np.sum(diff * diff, axis=-1))
+        elif metric == "cosine":
+            norms = np.linalg.norm(points, axis=1)
+            if np.any(norms == 0):
+                raise InvalidParameterError(
+                    "cosine distance requires non-zero feature vectors"
+                )
+            unit = points / norms[:, None]
+            similarity = np.clip(unit @ unit.T, -1.0, 1.0)
+            matrix = 1.0 - similarity
+        else:
+            raise InvalidParameterError(f"unknown metric kind {metric!r}")
+        np.fill_diagonal(matrix, 0.0)
+        matrix = np.maximum(matrix, 0.0)
+        # Enforce exact symmetry despite floating point noise.
+        matrix = (matrix + matrix.T) / 2.0
+        return cls(matrix, copy=False)
+
+    @classmethod
+    def zeros(cls, n: int) -> "DistanceMatrix":
+        """An all-zero 'metric' (useful for pure quality maximization tests)."""
+        if n < 0:
+            raise InvalidParameterError("n must be non-negative")
+        return cls(np.zeros((n, n)), copy=False)
+
+    def restrict(self, elements: Iterable[Element]) -> "DistanceMatrix":
+        """Return the sub-matrix induced by the given elements (re-indexed)."""
+        idx = np.fromiter(elements, dtype=int)
+        return DistanceMatrix(self._matrix[np.ix_(idx, idx)], copy=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DistanceMatrix(n={self.n})"
+
+
+def as_distance_matrix(metric: Metric, *, copy: Optional[bool] = None) -> DistanceMatrix:
+    """Coerce any :class:`Metric` into a :class:`DistanceMatrix`.
+
+    Matrix-backed metrics are returned as-is unless ``copy`` is ``True``.
+    """
+    if isinstance(metric, DistanceMatrix):
+        return metric.copy() if copy else metric
+    return DistanceMatrix(metric.to_matrix(), copy=False)

@@ -1,0 +1,54 @@
+"""α-relaxed triangle inequality utilities.
+
+Section 8 of the paper discusses Sydow's extension: if the distance satisfies
+``d(x, y) + d(y, z) >= α · d(x, z)`` for some ``α <= 1`` (a *relaxed* metric),
+the matching-based algorithm achieves a ``2/α``-style guarantee.  These
+helpers measure the best (largest) ``α`` a given distance structure supports,
+which the experiment harness uses to report how far a cosine-distance corpus
+is from being a true metric.
+
+Note on conventions: the paper writes the relaxation as
+``d(x, y) + d(y, z) >= α d(x, z)`` with ``α >= 1`` meaning a *stronger*
+inequality; here :func:`relaxation_parameter` returns
+
+``alpha* = min over triples of (d(x, y) + d(y, z)) / d(x, z)``
+
+so ``alpha* >= 1`` certifies a true metric and ``alpha* < 1`` quantifies the
+violation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.base import Metric
+
+
+def relaxation_parameter(metric: Metric, *, tolerance: float = 1e-12) -> float:
+    """Return the largest α with ``d(x,y) + d(y,z) >= α·d(x,z)`` for all triples.
+
+    Returns ``float('inf')`` for instances with fewer than three elements or
+    with no positive distances (the inequality is vacuous there).
+    """
+    matrix = metric.to_matrix()
+    n = matrix.shape[0]
+    if n < 3:
+        return float("inf")
+    best = float("inf")
+    for y in range(n):
+        sums = matrix[:, y][:, None] + matrix[y, :][None, :]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(matrix > tolerance, sums / matrix, np.inf)
+        # Exclude degenerate triples involving y itself or x == z.
+        ratio[y, :] = np.inf
+        ratio[:, y] = np.inf
+        np.fill_diagonal(ratio, np.inf)
+        best = min(best, float(ratio.min()))
+    return best
+
+
+def satisfies_relaxed_triangle(
+    metric: Metric, alpha: float, *, tolerance: float = 1e-9
+) -> bool:
+    """Check ``d(x, y) + d(y, z) >= alpha · d(x, z)`` for all triples."""
+    return relaxation_parameter(metric) >= alpha - tolerance

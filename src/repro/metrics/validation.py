@@ -1,0 +1,95 @@
+"""Metric axiom validation.
+
+Exact O(n^3) checks for small instances (tests, the dynamic-update engine's
+optional safety mode) and sampled checks for larger ones.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import MetricError, TriangleInequalityError
+from repro.metrics.base import Metric
+from repro.utils.rng import SeedLike, make_rng
+
+#: Default numerical tolerance for triangle-inequality checks.
+DEFAULT_TOLERANCE = 1e-9
+
+
+def triangle_violations(
+    metric: Metric,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_violations: int = 10,
+) -> List[Tuple[int, int, int, float]]:
+    """Return up to ``max_violations`` triples violating the triangle inequality.
+
+    Each entry is ``(x, y, z, gap)`` with ``gap = d(x, z) - d(x, y) - d(y, z) > 0``.
+    """
+    matrix = metric.to_matrix()
+    n = matrix.shape[0]
+    violations: List[Tuple[int, int, int, float]] = []
+    for y in range(n):
+        # d(x, z) <= d(x, y) + d(y, z) for all x, z — vectorized over (x, z).
+        bound = matrix[:, y][:, None] + matrix[y, :][None, :]
+        gap = matrix - bound
+        bad = np.argwhere(gap > tolerance)
+        for x, z in bad:
+            if x == y or z == y or x == z:
+                continue
+            violations.append((int(x), int(y), int(z), float(gap[x, z])))
+            if len(violations) >= max_violations:
+                return violations
+    return violations
+
+
+def is_metric(metric: Metric, *, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """Return ``True`` when the structure satisfies all metric axioms."""
+    matrix = metric.to_matrix()
+    if np.any(matrix < -tolerance):
+        return False
+    if not np.allclose(matrix, matrix.T, atol=tolerance):
+        return False
+    if not np.allclose(np.diag(matrix), 0.0, atol=tolerance):
+        return False
+    return not triangle_violations(metric, tolerance=tolerance, max_violations=1)
+
+
+def check_metric(metric: Metric, *, tolerance: float = DEFAULT_TOLERANCE) -> None:
+    """Raise a descriptive error when any metric axiom fails."""
+    matrix = metric.to_matrix()
+    if np.any(matrix < -tolerance):
+        raise MetricError("distances must be non-negative")
+    if not np.allclose(matrix, matrix.T, atol=tolerance):
+        raise MetricError("distances must be symmetric")
+    if not np.allclose(np.diag(matrix), 0.0, atol=tolerance):
+        raise MetricError("self-distances must be zero")
+    violations = triangle_violations(metric, tolerance=tolerance, max_violations=3)
+    if violations:
+        x, y, z, gap = violations[0]
+        raise TriangleInequalityError(
+            f"triangle inequality violated at ({x}, {y}, {z}): "
+            f"d({x},{z}) exceeds d({x},{y}) + d({y},{z}) by {gap:.3g} "
+            f"({len(violations)}+ violations found)"
+        )
+
+
+def sampled_triangle_check(
+    metric: Metric,
+    *,
+    samples: int = 1000,
+    tolerance: float = DEFAULT_TOLERANCE,
+    seed: Optional[SeedLike] = None,
+) -> bool:
+    """Monte-Carlo triangle-inequality check for large instances."""
+    n = metric.n
+    if n < 3:
+        return True
+    rng = make_rng(seed)
+    for _ in range(samples):
+        x, y, z = rng.choice(n, size=3, replace=False)
+        if metric.distance(x, z) > metric.distance(x, y) + metric.distance(y, z) + tolerance:
+            return False
+    return True

@@ -1,0 +1,56 @@
+"""Wall-clock timing helpers used by the experiment harness.
+
+The paper reports elapsed milliseconds for Greedy A, Greedy B and the limited
+local search; these helpers provide the equivalent measurements for our
+implementations.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with millisecond reporting.
+
+    Example
+    -------
+    >>> watch = Stopwatch()
+    >>> with watch.measure():
+    ...     _ = sum(range(1000))
+    >>> watch.elapsed_ms >= 0.0
+    True
+    """
+
+    elapsed_seconds: float = field(default=0.0)
+
+    @contextmanager
+    def measure(self) -> Iterator[None]:
+        """Context manager adding the block's duration to the total."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.elapsed_seconds += time.perf_counter() - start
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Total elapsed time in milliseconds."""
+        return self.elapsed_seconds * 1000.0
+
+    def reset(self) -> None:
+        """Zero the accumulated time."""
+        self.elapsed_seconds = 0.0
+
+
+def timed(func: Callable[[], T]) -> Tuple[T, float]:
+    """Run ``func`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = func()
+    return result, time.perf_counter() - start

@@ -1,0 +1,65 @@
+"""Parameter validation helpers shared by algorithms and data generators."""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from repro.exceptions import InvalidParameterError
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Raise :class:`InvalidParameterError` unless ``value >= 0``."""
+    if value < 0:
+        raise InvalidParameterError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_positive(name: str, value: float) -> float:
+    """Raise :class:`InvalidParameterError` unless ``value > 0``."""
+    if value <= 0:
+        raise InvalidParameterError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Raise :class:`InvalidParameterError` unless ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise InvalidParameterError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def check_tradeoff(name: str, value: float) -> float:
+    """Validate a trade-off parameter λ (must be non-negative and finite)."""
+    if not value >= 0.0 or value != value or value in (float("inf"),):
+        raise InvalidParameterError(
+            f"{name} must be a finite non-negative number, got {value}"
+        )
+    return value
+
+
+def check_cardinality(p: int, n: int) -> int:
+    """Validate a cardinality constraint ``p`` against a universe of size ``n``."""
+    if not isinstance(p, (int,)) or isinstance(p, bool):
+        raise InvalidParameterError(f"cardinality p must be an integer, got {p!r}")
+    if p < 0:
+        raise InvalidParameterError(f"cardinality p must be non-negative, got {p}")
+    if p > n:
+        raise InvalidParameterError(
+            f"cardinality p={p} exceeds the universe size n={n}"
+        )
+    return p
+
+
+def check_elements(subset: Iterable[int], n: int) -> Set[int]:
+    """Normalize a subset to a ``set`` and verify every index is in range."""
+    normalized = set(subset)
+    for element in normalized:
+        if not isinstance(element, (int,)) or isinstance(element, bool):
+            raise InvalidParameterError(
+                f"elements must be integer indices, got {element!r}"
+            )
+        if element < 0 or element >= n:
+            raise InvalidParameterError(
+                f"element {element} is outside the universe [0, {n})"
+            )
+    return normalized

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.objective import Objective
+from repro.data.synthetic import make_synthetic_instance
+from repro.functions.modular import ModularFunction
+from repro.metrics.matrix import DistanceMatrix
+
+
+@pytest.fixture
+def small_matrix() -> DistanceMatrix:
+    """A tiny hand-checked metric on 4 points."""
+    return DistanceMatrix(
+        np.array(
+            [
+                [0.0, 1.0, 2.0, 1.5],
+                [1.0, 0.0, 1.2, 1.8],
+                [2.0, 1.2, 0.0, 1.0],
+                [1.5, 1.8, 1.0, 0.0],
+            ]
+        )
+    )
+
+
+@pytest.fixture
+def small_objective(small_matrix) -> Objective:
+    """A 4-element modular objective with λ = 0.5."""
+    quality = ModularFunction([0.9, 0.1, 0.5, 0.4])
+    return Objective(quality, small_matrix, tradeoff=0.5)
+
+
+@pytest.fixture
+def synthetic_20():
+    """A 20-element synthetic instance (paper-style weights/distances)."""
+    return make_synthetic_instance(20, seed=123)
+
+
+@pytest.fixture
+def synthetic_objective_20(synthetic_20) -> Objective:
+    return synthetic_20.objective

@@ -1,0 +1,124 @@
+"""Tests for Greedy A (Gollapudi–Sharma) and the matching-based baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    gollapudi_sharma_greedy,
+    matching_diversify,
+    reduced_metric,
+)
+from repro.core.exact import exact_diversify
+from repro.core.objective import Objective
+from repro.data.synthetic import make_synthetic_instance
+from repro.exceptions import SolverError
+from repro.functions.coverage import CoverageFunction
+from repro.functions.modular import ModularFunction, ZeroFunction
+from repro.metrics.discrete import UniformRandomMetric
+from repro.metrics.validation import is_metric
+
+
+class TestReducedMetric:
+    def test_formula(self, small_objective):
+        reduced = reduced_metric(small_objective)
+        w = [0.9, 0.1, 0.5, 0.4]
+        lam = small_objective.tradeoff
+        for u in range(4):
+            for v in range(4):
+                if u == v:
+                    assert reduced.distance(u, v) == 0.0
+                else:
+                    expected = w[u] + w[v] + 2 * lam * small_objective.metric.distance(u, v)
+                    assert reduced.distance(u, v) == pytest.approx(expected)
+
+    def test_reduction_preserves_metric(self):
+        instance = make_synthetic_instance(12, seed=4)
+        assert is_metric(reduced_metric(instance.objective))
+
+    def test_zero_function_supported(self):
+        metric = UniformRandomMetric(5, seed=0)
+        objective = Objective(ZeroFunction(5), metric, tradeoff=1.0)
+        reduced = reduced_metric(objective)
+        assert reduced.distance(0, 1) == pytest.approx(2 * metric.distance(0, 1))
+
+    def test_submodular_quality_rejected(self):
+        metric = UniformRandomMetric(5, seed=0)
+        coverage = CoverageFunction([[0]] * 5)
+        objective = Objective(coverage, metric, tradeoff=0.5)
+        with pytest.raises(SolverError):
+            gollapudi_sharma_greedy(objective, 3)
+
+
+class TestGreedyA:
+    def test_selects_requested_cardinality_even_p(self, synthetic_objective_20):
+        result = gollapudi_sharma_greedy(synthetic_objective_20, 6)
+        assert result.size == 6
+        assert result.algorithm == "greedy_a"
+
+    def test_selects_requested_cardinality_odd_p(self, synthetic_objective_20):
+        result = gollapudi_sharma_greedy(synthetic_objective_20, 7)
+        assert result.size == 7
+
+    def test_improved_variant_at_least_as_good_for_odd_p(self, synthetic_objective_20):
+        plain = gollapudi_sharma_greedy(synthetic_objective_20, 5)
+        improved = gollapudi_sharma_greedy(synthetic_objective_20, 5, improved=True)
+        assert improved.objective_value >= plain.objective_value - 1e-9
+        assert improved.algorithm == "greedy_a_improved"
+
+    def test_first_pair_is_heaviest_reduced_edge(self, synthetic_objective_20):
+        objective = synthetic_objective_20
+        reduced = reduced_metric(objective)
+        best_pair = max(
+            ((reduced.distance(u, v), (u, v)) for u in range(20) for v in range(u + 1, 20))
+        )[1]
+        result = gollapudi_sharma_greedy(objective, 4)
+        assert set(best_pair) <= result.selected
+        assert tuple(result.order[:2]) == best_pair
+
+    def test_pairs_are_disjoint(self, synthetic_objective_20):
+        result = gollapudi_sharma_greedy(synthetic_objective_20, 8)
+        pairs = result.metadata["pairs"]
+        flattened = [element for pair in pairs for element in pair]
+        assert len(flattened) == len(set(flattened)) == 8
+
+    def test_two_approximation_on_modular_instances(self):
+        for seed in range(4):
+            instance = make_synthetic_instance(12, seed=seed)
+            objective = instance.objective
+            result = gollapudi_sharma_greedy(objective, 4)
+            optimum = exact_diversify(objective, 4, method="enumerate")
+            assert result.objective_value >= optimum.objective_value / 2 - 1e-9
+
+    def test_p_zero_and_one(self, synthetic_objective_20):
+        assert gollapudi_sharma_greedy(synthetic_objective_20, 0).size == 0
+        assert gollapudi_sharma_greedy(synthetic_objective_20, 1).size == 1
+
+    def test_deterministic(self, synthetic_objective_20):
+        first = gollapudi_sharma_greedy(synthetic_objective_20, 6)
+        second = gollapudi_sharma_greedy(synthetic_objective_20, 6)
+        assert first.selected == second.selected
+
+
+class TestMatchingBaseline:
+    def test_selects_requested_cardinality(self, synthetic_objective_20):
+        for p in (4, 5):
+            result = matching_diversify(synthetic_objective_20, p)
+            assert result.size == p
+
+    def test_quality_on_small_instances(self):
+        # The matching algorithm has the stronger 2 - 1/⌈p/2⌉ guarantee; check
+        # it holds comfortably on random modular instances.
+        for seed in range(3):
+            instance = make_synthetic_instance(10, seed=seed)
+            objective = instance.objective
+            p = 4
+            result = matching_diversify(objective, p)
+            optimum = exact_diversify(objective, p, method="enumerate")
+            bound = 2 - 1 / np.ceil(p / 2)
+            assert result.objective_value >= optimum.objective_value / bound - 1e-9
+
+    def test_matching_beats_or_matches_nothing_degenerate(self, small_objective):
+        result = matching_diversify(small_objective, 2)
+        assert result.size == 2

@@ -1,0 +1,110 @@
+"""Tests for knapsack-constrained diversification (the paper's future-work extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.knapsack import exact_knapsack_diversify, knapsack_greedy
+from repro.core.objective import Objective
+from repro.data.synthetic import make_synthetic_instance
+from repro.exceptions import InvalidParameterError
+from repro.functions.coverage import CoverageFunction
+from repro.metrics.discrete import UniformRandomMetric
+
+
+@pytest.fixture
+def instance_costs():
+    instance = make_synthetic_instance(12, seed=42)
+    rng = np.random.default_rng(42)
+    costs = rng.uniform(0.5, 2.0, size=12)
+    return instance.objective, costs
+
+
+class TestKnapsackGreedy:
+    def test_budget_respected(self, instance_costs):
+        objective, costs = instance_costs
+        budget = 4.0
+        result = knapsack_greedy(objective, costs, budget)
+        assert sum(costs[i] for i in result.selected) <= budget + 1e-9
+        assert result.metadata["spent"] <= budget + 1e-9
+
+    def test_zero_budget_selects_nothing_priced(self, instance_costs):
+        objective, costs = instance_costs
+        result = knapsack_greedy(objective, costs, 0.0)
+        assert all(costs[i] == 0 for i in result.selected)
+
+    def test_huge_budget_takes_everything_useful(self, instance_costs):
+        objective, costs = instance_costs
+        result = knapsack_greedy(objective, costs, budget=1000.0)
+        # With distances ≥ 1 every addition has positive potential, so all
+        # elements are selected.
+        assert result.size == objective.n
+
+    def test_partial_enumeration_never_worse(self, instance_costs):
+        objective, costs = instance_costs
+        budget = 5.0
+        plain = knapsack_greedy(objective, costs, budget)
+        enumerated = knapsack_greedy(
+            objective, costs, budget, partial_enumeration_size=2
+        )
+        assert enumerated.objective_value >= plain.objective_value - 1e-9
+        assert "enum2" in enumerated.algorithm
+
+    def test_close_to_optimal_on_small_instances(self):
+        for seed in range(3):
+            instance = make_synthetic_instance(9, seed=seed)
+            objective = instance.objective
+            rng = np.random.default_rng(seed)
+            costs = rng.uniform(0.5, 1.5, size=9)
+            budget = 3.0
+            greedy = knapsack_greedy(objective, costs, budget, partial_enumeration_size=2)
+            optimum = exact_knapsack_diversify(objective, costs, budget)
+            assert greedy.objective_value >= optimum.objective_value / 2 - 1e-9
+
+    def test_submodular_quality_supported(self):
+        metric = UniformRandomMetric(10, seed=3)
+        coverage = CoverageFunction.random(10, 6, seed=3)
+        objective = Objective(coverage, metric, tradeoff=0.3)
+        costs = np.ones(10)
+        result = knapsack_greedy(objective, costs, budget=4.0)
+        assert result.size <= 4
+
+    def test_candidate_restriction(self, instance_costs):
+        objective, costs = instance_costs
+        result = knapsack_greedy(objective, costs, 4.0, candidates=[0, 1, 2, 3])
+        assert result.selected <= {0, 1, 2, 3}
+
+    def test_validation(self, instance_costs):
+        objective, costs = instance_costs
+        with pytest.raises(InvalidParameterError):
+            knapsack_greedy(objective, costs, -1.0)
+        with pytest.raises(InvalidParameterError):
+            knapsack_greedy(objective, costs[:-1], 1.0)
+        with pytest.raises(InvalidParameterError):
+            knapsack_greedy(objective, -costs, 1.0)
+        with pytest.raises(InvalidParameterError):
+            knapsack_greedy(objective, costs, 1.0, partial_enumeration_size=-1)
+
+
+class TestExactKnapsack:
+    def test_budget_respected_and_optimal(self, instance_costs):
+        objective, costs = instance_costs
+        budget = 3.0
+        result = exact_knapsack_diversify(objective, costs, budget)
+        assert sum(costs[i] for i in result.selected) <= budget + 1e-9
+        # The optimum is at least as good as any greedy completion.
+        greedy = knapsack_greedy(objective, costs, budget, partial_enumeration_size=2)
+        assert result.objective_value >= greedy.objective_value - 1e-9
+
+    def test_limit_guard(self):
+        instance = make_synthetic_instance(40, seed=0)
+        with pytest.raises(InvalidParameterError):
+            exact_knapsack_diversify(
+                instance.objective, np.ones(40), 5.0, subset_limit=1000
+            )
+
+    def test_negative_budget_rejected(self, instance_costs):
+        objective, costs = instance_costs
+        with pytest.raises(InvalidParameterError):
+            exact_knapsack_diversify(objective, costs, -1.0)

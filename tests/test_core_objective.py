@@ -1,0 +1,101 @@
+"""Tests for the combined objective and its marginals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.objective import Objective
+from repro.exceptions import InvalidParameterError
+from repro.functions.coverage import CoverageFunction
+from repro.functions.modular import ModularFunction
+from repro.metrics.discrete import UniformRandomMetric
+
+
+class TestEvaluation:
+    def test_value_decomposition(self, small_objective):
+        subset = {0, 2}
+        assert small_objective.quality_value(subset) == pytest.approx(1.4)
+        assert small_objective.dispersion_value(subset) == pytest.approx(2.0)
+        assert small_objective.value(subset) == pytest.approx(1.4 + 0.5 * 2.0)
+
+    def test_empty_set_value_zero(self, small_objective):
+        assert small_objective.value(set()) == 0.0
+
+    def test_tradeoff_zero_is_pure_quality(self, small_matrix):
+        objective = Objective(ModularFunction([1.0, 2.0, 3.0, 4.0]), small_matrix, 0.0)
+        assert objective.value({0, 1}) == pytest.approx(3.0)
+
+    def test_universe_size_mismatch_rejected(self, small_matrix):
+        with pytest.raises(InvalidParameterError):
+            Objective(ModularFunction([1.0, 2.0]), small_matrix, 0.1)
+
+    def test_negative_tradeoff_rejected(self, small_matrix):
+        with pytest.raises(InvalidParameterError):
+            Objective(ModularFunction([1.0] * 4), small_matrix, -0.1)
+
+
+class TestMarginals:
+    def test_true_marginal(self, small_objective):
+        subset = {1}
+        expected = 0.9 + 0.5 * 1.0
+        assert small_objective.marginal(0, subset) == pytest.approx(expected)
+
+    def test_potential_marginal_halves_quality(self, small_objective):
+        subset = {1}
+        expected = 0.5 * 0.9 + 0.5 * 1.0
+        assert small_objective.potential_marginal(0, subset) == pytest.approx(expected)
+
+    def test_marginal_of_member_is_zero(self, small_objective):
+        assert small_objective.marginal(1, {1}) == 0.0
+        assert small_objective.potential_marginal(1, {1}) == 0.0
+
+    def test_tracker_matches_direct(self, small_objective):
+        subset = {0, 3}
+        tracker = small_objective.make_tracker(subset)
+        for u in (1, 2):
+            assert small_objective.marginal(u, subset, tracker=tracker) == pytest.approx(
+                small_objective.marginal(u, subset)
+            )
+            assert small_objective.potential_marginal(
+                u, subset, tracker=tracker
+            ) == pytest.approx(small_objective.potential_marginal(u, subset))
+
+    def test_marginal_consistency_with_value(self, synthetic_objective_20):
+        objective = synthetic_objective_20
+        subset = {1, 5, 9}
+        for u in (0, 2, 7, 13):
+            assert objective.marginal(u, subset) == pytest.approx(
+                objective.value(subset | {u}) - objective.value(subset)
+            )
+
+    def test_submodular_quality_marginal(self, small_matrix):
+        coverage = CoverageFunction([[0], [0], [1], [2]])
+        objective = Objective(coverage, small_matrix, tradeoff=1.0)
+        # Element 1 adds no new topic given element 0 but still adds distance.
+        assert objective.marginal(1, {0}) == pytest.approx(small_matrix.distance(0, 1))
+
+
+class TestSwapGain:
+    def test_swap_gain_matches_value_difference(self, small_objective):
+        subset = {0, 1}
+        gain = small_objective.swap_gain(subset, incoming=3, outgoing=1)
+        assert gain == pytest.approx(
+            small_objective.value({0, 3}) - small_objective.value({0, 1})
+        )
+
+    def test_swap_gain_validates_membership(self, small_objective):
+        with pytest.raises(InvalidParameterError):
+            small_objective.swap_gain({0, 1}, incoming=1, outgoing=0)
+        with pytest.raises(InvalidParameterError):
+            small_objective.swap_gain({0, 1}, incoming=2, outgoing=3)
+
+    def test_pair_value(self, small_objective):
+        assert small_objective.pair_value(0, 2) == pytest.approx(0.9 + 0.5 + 0.5 * 2.0)
+
+
+class TestRepr:
+    def test_repr_mentions_components(self):
+        metric = UniformRandomMetric(5, seed=0)
+        objective = Objective(ModularFunction([1.0] * 5), metric, 0.2)
+        text = repr(objective)
+        assert "ModularFunction" in text and "0.2" in text

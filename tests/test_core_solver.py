@@ -1,0 +1,110 @@
+"""Tests for the solve() facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.solver import ALGORITHMS, solve
+from repro.data.synthetic import make_synthetic_instance
+from repro.exceptions import InvalidParameterError, SolverError
+from repro.functions.coverage import CoverageFunction
+from repro.matroids.partition import PartitionMatroid
+from repro.metrics.discrete import UniformRandomMetric
+
+
+@pytest.fixture
+def instance():
+    return make_synthetic_instance(15, seed=21)
+
+
+class TestDispatch:
+    def test_auto_cardinality_uses_greedy(self, instance):
+        result = solve(instance.quality, instance.metric, tradeoff=0.2, p=4)
+        assert result.algorithm.startswith("greedy_b")
+        assert result.size == 4
+
+    def test_auto_matroid_uses_local_search(self, instance):
+        matroid = PartitionMatroid([i % 3 for i in range(15)], {0: 1, 1: 1, 2: 1})
+        result = solve(
+            instance.quality, instance.metric, tradeoff=0.2, matroid=matroid
+        )
+        assert result.algorithm == "local_search"
+        assert matroid.is_independent(result.selected)
+
+    @pytest.mark.parametrize(
+        "algorithm",
+        ["greedy", "greedy_best_pair", "greedy_a", "greedy_a_improved", "matching", "mmr", "exact", "local_search"],
+    )
+    def test_all_cardinality_algorithms_run(self, instance, algorithm):
+        result = solve(
+            instance.quality, instance.metric, tradeoff=0.2, p=3, algorithm=algorithm
+        )
+        assert result.size == 3
+
+    def test_exact_under_matroid(self, instance):
+        matroid = PartitionMatroid([i % 5 for i in range(15)], {j: 1 for j in range(5)})
+        result = solve(
+            instance.quality, instance.metric, tradeoff=0.2, matroid=matroid, algorithm="exact"
+        )
+        assert result.algorithm == "exact"
+
+    def test_every_listed_algorithm_is_dispatchable(self, instance):
+        for algorithm in ALGORITHMS:
+            if algorithm == "auto":
+                continue
+            # greedy_a variants require modular quality, which this instance has.
+            result = solve(
+                instance.quality,
+                instance.metric,
+                tradeoff=0.2,
+                p=3,
+                algorithm=algorithm,
+            )
+            assert result.size == 3
+
+
+class TestValidation:
+    def test_unknown_algorithm(self, instance):
+        with pytest.raises(InvalidParameterError):
+            solve(instance.quality, instance.metric, tradeoff=0.2, p=3, algorithm="magic")
+
+    def test_exactly_one_constraint(self, instance):
+        with pytest.raises(InvalidParameterError):
+            solve(instance.quality, instance.metric, tradeoff=0.2)
+        matroid = PartitionMatroid([0] * 15, {0: 3})
+        with pytest.raises(InvalidParameterError):
+            solve(instance.quality, instance.metric, tradeoff=0.2, p=3, matroid=matroid)
+
+    def test_matroid_with_candidates_rejected(self, instance):
+        matroid = PartitionMatroid([0] * 15, {0: 3})
+        with pytest.raises(InvalidParameterError):
+            solve(
+                instance.quality,
+                instance.metric,
+                tradeoff=0.2,
+                matroid=matroid,
+                candidates=[0, 1, 2],
+            )
+
+    def test_cardinality_only_algorithm_with_matroid_rejected(self, instance):
+        matroid = PartitionMatroid([0] * 15, {0: 3})
+        with pytest.raises(SolverError):
+            solve(
+                instance.quality,
+                instance.metric,
+                tradeoff=0.2,
+                matroid=matroid,
+                algorithm="greedy_a",
+            )
+
+    def test_greedy_a_requires_modular_quality(self):
+        metric = UniformRandomMetric(8, seed=0)
+        coverage = CoverageFunction.random(8, 5, seed=0)
+        with pytest.raises(SolverError):
+            solve(coverage, metric, tradeoff=0.2, p=3, algorithm="greedy_a")
+
+    def test_submodular_quality_with_default_greedy_works(self):
+        metric = UniformRandomMetric(8, seed=0)
+        coverage = CoverageFunction.random(8, 5, seed=0)
+        result = solve(coverage, metric, tradeoff=0.2, p=3)
+        assert result.size == 3

@@ -1,0 +1,95 @@
+"""Tests for the streaming (incremental) diversifier."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exact import exact_diversify
+from repro.core.greedy import greedy_diversify
+from repro.core.streaming import StreamingDiversifier, streaming_diversify
+from repro.data.synthetic import make_synthetic_instance
+from repro.exceptions import InvalidParameterError
+
+
+class TestStreamingDiversifier:
+    def test_fills_up_then_swaps(self, synthetic_objective_20):
+        engine = StreamingDiversifier(synthetic_objective_20, p=4)
+        for element in range(8):
+            engine.process(element)
+        assert len(engine.solution) == 4
+        assert engine.arrivals == 8
+        assert engine.solution_value == pytest.approx(
+            synthetic_objective_20.value(engine.solution)
+        )
+
+    def test_duplicate_arrivals_ignored(self, synthetic_objective_20):
+        engine = StreamingDiversifier(synthetic_objective_20, p=3)
+        engine.process(0)
+        changed = engine.process(0)
+        assert not changed
+        assert engine.arrivals == 2
+        assert engine.solution == frozenset({0})
+
+    def test_swap_only_when_it_improves(self, small_objective):
+        engine = StreamingDiversifier(small_objective, p=2)
+        engine.process_stream([0, 2])  # the two best elements
+        value_before = engine.solution_value
+        engine.process(1)  # low weight, should not displace anything better
+        assert engine.solution_value >= value_before - 1e-9
+
+    def test_value_never_decreases(self, synthetic_objective_20):
+        engine = StreamingDiversifier(synthetic_objective_20, p=5)
+        previous = 0.0
+        rng = np.random.default_rng(0)
+        for element in rng.permutation(20):
+            engine.process(int(element))
+            assert engine.solution_value >= previous - 1e-9
+            previous = engine.solution_value
+
+    def test_margin_reduces_swaps(self, synthetic_objective_20):
+        order = list(np.random.default_rng(1).permutation(20))
+        eager = StreamingDiversifier(synthetic_objective_20, p=5).process_stream(
+            [int(x) for x in order]
+        )
+        lazy = StreamingDiversifier(
+            synthetic_objective_20, p=5, improvement_margin=0.05
+        ).process_stream([int(x) for x in order])
+        assert lazy.swaps <= eager.swaps
+
+    def test_validation(self, synthetic_objective_20):
+        with pytest.raises(InvalidParameterError):
+            StreamingDiversifier(synthetic_objective_20, p=0)
+        with pytest.raises(InvalidParameterError):
+            StreamingDiversifier(synthetic_objective_20, p=3, improvement_margin=-0.1)
+        engine = StreamingDiversifier(synthetic_objective_20, p=3)
+        with pytest.raises(InvalidParameterError):
+            engine.process(99)
+
+    def test_result_packaging(self, synthetic_objective_20):
+        engine = StreamingDiversifier(synthetic_objective_20, p=4)
+        engine.process_stream(range(10))
+        result = engine.result()
+        assert result.algorithm == "streaming"
+        assert result.size == 4
+        assert result.metadata["swaps"] == engine.swaps
+
+
+class TestStreamingDiversify:
+    def test_one_shot_wrapper(self, synthetic_objective_20):
+        result = streaming_diversify(synthetic_objective_20, 5)
+        assert result.size == 5
+        assert result.iterations == 20
+
+    def test_arrival_order_matters_but_quality_is_close_to_offline(self):
+        # Streaming with swaps should land in the same ballpark as the offline
+        # greedy (and well within factor 2 of the optimum) regardless of order.
+        instance = make_synthetic_instance(12, seed=13)
+        objective = instance.objective
+        optimum = exact_diversify(objective, 4).objective_value
+        offline = greedy_diversify(objective, 4).objective_value
+        for seed in range(3):
+            order = [int(x) for x in np.random.default_rng(seed).permutation(12)]
+            online = streaming_diversify(objective, 4, order).objective_value
+            assert online >= optimum / 2 - 1e-9
+            assert online >= 0.8 * offline

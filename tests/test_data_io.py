@@ -1,0 +1,99 @@
+"""Tests for instance serialization (save_instance / load_instance)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.greedy import greedy_diversify
+from repro.data.io import load_instance, save_instance
+from repro.data.synthetic import make_synthetic_instance
+from repro.exceptions import InvalidParameterError
+
+
+class TestRoundTrip:
+    def test_arrays_and_tradeoff_preserved(self, tmp_path):
+        instance = make_synthetic_instance(12, seed=1)
+        path = save_instance(
+            tmp_path / "instance", instance.weights, instance.metric, instance.tradeoff
+        )
+        loaded = load_instance(path)
+        assert loaded.n == 12
+        assert loaded.tradeoff == pytest.approx(instance.tradeoff)
+        assert np.allclose(loaded.weights, instance.weights)
+        assert np.allclose(loaded.distances, instance.distances)
+
+    def test_npz_suffix_added(self, tmp_path):
+        instance = make_synthetic_instance(5, seed=2)
+        path = save_instance(
+            tmp_path / "noext", instance.weights, instance.distances, 0.2
+        )
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_labels_and_metadata_round_trip(self, tmp_path):
+        instance = make_synthetic_instance(4, seed=3)
+        labels = [f"doc-{i}" for i in range(4)]
+        path = save_instance(
+            tmp_path / "labelled",
+            instance.weights,
+            instance.distances,
+            0.5,
+            labels=labels,
+            metadata={"query": "q17", "source": "unit-test"},
+        )
+        loaded = load_instance(path)
+        assert loaded.labels == labels
+        assert loaded.metadata == {"query": "q17", "source": "unit-test"}
+
+    def test_objective_reassembly_gives_same_solution(self, tmp_path):
+        instance = make_synthetic_instance(15, seed=4)
+        path = save_instance(
+            tmp_path / "solve", instance.weights, instance.distances, instance.tradeoff
+        )
+        loaded = load_instance(path)
+        original = greedy_diversify(instance.objective, 5)
+        reloaded = greedy_diversify(loaded.objective, 5)
+        assert original.selected == reloaded.selected
+        assert original.objective_value == pytest.approx(reloaded.objective_value)
+
+
+class TestValidation:
+    def test_mismatched_sizes_rejected(self, tmp_path):
+        instance = make_synthetic_instance(6, seed=5)
+        with pytest.raises(InvalidParameterError):
+            save_instance(
+                tmp_path / "bad", instance.weights[:-1], instance.distances, 0.2
+            )
+
+    def test_bad_labels_rejected(self, tmp_path):
+        instance = make_synthetic_instance(6, seed=6)
+        with pytest.raises(InvalidParameterError):
+            save_instance(
+                tmp_path / "bad",
+                instance.weights,
+                instance.distances,
+                0.2,
+                labels=["only-one"],
+            )
+
+    def test_negative_tradeoff_rejected(self, tmp_path):
+        instance = make_synthetic_instance(6, seed=7)
+        with pytest.raises(InvalidParameterError):
+            save_instance(tmp_path / "bad", instance.weights, instance.distances, -0.1)
+
+    def test_invalid_distances_rejected(self, tmp_path):
+        with pytest.raises(Exception):
+            save_instance(
+                tmp_path / "bad", [1.0, 2.0], np.array([[0.0, -1.0], [-1.0, 0.0]]), 0.2
+            )
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            load_instance(tmp_path / "does-not-exist.npz")
+
+    def test_non_instance_npz_rejected(self, tmp_path):
+        path = tmp_path / "random.npz"
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(InvalidParameterError):
+            load_instance(path)

@@ -1,0 +1,108 @@
+"""Tests for the multi-swap (k-swap) dynamic update rule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.objective import Objective
+from repro.data.synthetic import make_synthetic_instance
+from repro.dynamic.update_rules import (
+    best_k_swap,
+    k_swap_update,
+    oblivious_update,
+    update_until_stable,
+)
+from repro.exceptions import InvalidParameterError
+from repro.functions.modular import ModularFunction
+from repro.metrics.matrix import DistanceMatrix
+
+import numpy as np
+
+
+def _objective(seed=0, n=9):
+    instance = make_synthetic_instance(n, seed=seed)
+    return instance.objective
+
+
+class TestBestKSwap:
+    def test_k1_matches_single_swap_rule(self):
+        objective = _objective()
+        solution = {0, 1, 2}
+        move = best_k_swap(objective, solution, 1)
+        if move is None:
+            from repro.dynamic.update_rules import best_swap
+
+            assert best_swap(objective, solution) is None
+        else:
+            incoming, outgoing, gain = move
+            assert len(incoming) == len(outgoing) == 1
+            assert gain == pytest.approx(
+                objective.value((solution - set(outgoing)) | set(incoming))
+                - objective.value(solution)
+            )
+
+    def test_gain_is_positive_when_move_returned(self):
+        objective = _objective(seed=3)
+        move = best_k_swap(objective, {0, 1, 2, 3}, 2)
+        if move is not None:
+            assert move[2] > 0
+
+    def test_none_when_not_enough_elements(self):
+        objective = _objective(n=4)
+        assert best_k_swap(objective, {0, 1, 2}, 2) is None  # only 1 outside
+        assert best_k_swap(objective, {0}, 2) is None  # only 1 inside
+
+    def test_invalid_k(self):
+        objective = _objective()
+        with pytest.raises(InvalidParameterError):
+            best_k_swap(objective, {0, 1}, 0)
+        with pytest.raises(InvalidParameterError):
+            k_swap_update(objective, {0, 1}, k=0)
+
+
+class TestKSwapUpdate:
+    def test_never_worse_than_single_swap(self):
+        for seed in range(4):
+            objective = _objective(seed=seed)
+            solution = {0, 1, 2, 3}
+            single = oblivious_update(objective, solution)
+            double = k_swap_update(objective, solution, k=2)
+            assert double.objective_value >= single.objective_value - 1e-9
+
+    def test_two_swap_escapes_single_swap_local_optimum(self):
+        """A hand-built instance where no single swap improves but a 2-swap does.
+
+        Weights are zero (pure dispersion) and p = 2.  The pair {0, 1} has
+        distance 10; the pair {2, 3} has distance 11; every cross pair has
+        distance 6.  {0, 1} is single-swap locally optimal (any single swap
+        gives a cross pair of value 6) but the 2-swap to {2, 3} improves.
+        """
+        distances = np.array(
+            [
+                [0.0, 10.0, 6.0, 6.0],
+                [10.0, 0.0, 6.0, 6.0],
+                [6.0, 6.0, 0.0, 11.0],
+                [6.0, 6.0, 11.0, 0.0],
+            ]
+        )
+        objective = Objective(
+            ModularFunction([0.0] * 4), DistanceMatrix(distances), tradeoff=1.0
+        )
+        solution = {0, 1}
+        assert oblivious_update(objective, solution).solution == frozenset({0, 1})
+        outcome = k_swap_update(objective, solution, k=2)
+        assert outcome.solution == frozenset({2, 3})
+        assert outcome.objective_value == pytest.approx(11.0)
+
+    def test_update_keeps_cardinality(self):
+        objective = _objective(seed=5)
+        outcome = k_swap_update(objective, {0, 1, 2, 3}, k=2)
+        assert len(outcome.solution) == 4
+
+    def test_stable_solution_unchanged(self):
+        objective = _objective(seed=6)
+        stable = update_until_stable(objective, {0, 1, 2}).solution
+        # The 1-swap-stable solution may still admit a 2-swap improvement, but
+        # applying k_swap_update with k=1 must leave it unchanged.
+        outcome = k_swap_update(objective, set(stable), k=1)
+        assert outcome.solution == stable

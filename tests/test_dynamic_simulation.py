@@ -1,0 +1,124 @@
+"""Tests for the Section 7.3 simulation environments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.synthetic import make_synthetic_instance
+from repro.dynamic.simulation import (
+    Environment,
+    run_dynamic_simulation,
+    worst_ratio_curve,
+)
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture(scope="module")
+def tiny_instance():
+    return make_synthetic_instance(8, seed=11)
+
+
+class TestRunSimulation:
+    @pytest.mark.parametrize(
+        "environment",
+        [Environment.VPERTURBATION, Environment.EPERTURBATION, Environment.MPERTURBATION],
+    )
+    def test_runs_and_tracks_ratios(self, tiny_instance, environment):
+        record = run_dynamic_simulation(
+            tiny_instance.weights,
+            tiny_instance.distances,
+            p=3,
+            tradeoff=0.2,
+            environment=environment,
+            steps=5,
+            seed=0,
+        )
+        assert record.environment is environment
+        assert len(record.ratios) <= 5
+        assert all(ratio >= 1.0 - 1e-9 for ratio in record.ratios)
+        assert record.worst_ratio == max(record.ratios)
+
+    def test_ratio_stays_below_three(self, tiny_instance):
+        # The provable bound after a single oblivious update per perturbation.
+        record = run_dynamic_simulation(
+            tiny_instance.weights,
+            tiny_instance.distances,
+            p=3,
+            tradeoff=0.2,
+            environment=Environment.MPERTURBATION,
+            steps=10,
+            seed=1,
+        )
+        assert record.worst_ratio <= 3.0 + 1e-9
+
+    def test_reproducible_with_same_seed(self, tiny_instance):
+        first = run_dynamic_simulation(
+            tiny_instance.weights,
+            tiny_instance.distances,
+            3,
+            0.2,
+            Environment.VPERTURBATION,
+            steps=5,
+            seed=3,
+        )
+        second = run_dynamic_simulation(
+            tiny_instance.weights,
+            tiny_instance.distances,
+            3,
+            0.2,
+            Environment.VPERTURBATION,
+            steps=5,
+            seed=3,
+        )
+        assert first.ratios == second.ratios
+
+    def test_zero_steps(self, tiny_instance):
+        record = run_dynamic_simulation(
+            tiny_instance.weights,
+            tiny_instance.distances,
+            3,
+            0.2,
+            Environment.VPERTURBATION,
+            steps=0,
+            seed=0,
+        )
+        assert record.ratios == ()
+        assert record.worst_ratio == 1.0
+
+    def test_negative_steps_rejected(self, tiny_instance):
+        with pytest.raises(InvalidParameterError):
+            run_dynamic_simulation(
+                tiny_instance.weights,
+                tiny_instance.distances,
+                3,
+                0.2,
+                Environment.VPERTURBATION,
+                steps=-1,
+            )
+
+
+class TestWorstRatioCurve:
+    def test_curve_covers_all_tradeoffs(self, tiny_instance):
+        curve = worst_ratio_curve(
+            tiny_instance.weights,
+            tiny_instance.distances,
+            p=3,
+            tradeoffs=[0.2, 0.8],
+            environment=Environment.MPERTURBATION,
+            steps=3,
+            repeats=2,
+            seed=5,
+        )
+        assert set(curve) == {0.2, 0.8}
+        assert all(1.0 <= ratio <= 3.0 + 1e-9 for ratio in curve.values())
+
+    def test_repeats_validation(self, tiny_instance):
+        with pytest.raises(InvalidParameterError):
+            worst_ratio_curve(
+                tiny_instance.weights,
+                tiny_instance.distances,
+                3,
+                [0.2],
+                Environment.VPERTURBATION,
+                repeats=0,
+            )

@@ -1,0 +1,300 @@
+"""Tests for the dynamic-update machinery (Section 6)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.greedy import greedy_diversify
+from repro.core.objective import Objective
+from repro.data.synthetic import make_synthetic_instance
+from repro.dynamic.engine import DynamicDiversifier
+from repro.dynamic.perturbation import (
+    DistanceDecrease,
+    DistanceIncrease,
+    PerturbationType,
+    WeightDecrease,
+    WeightIncrease,
+    describe,
+)
+from repro.dynamic.update_rules import (
+    best_swap,
+    oblivious_update,
+    required_updates_for_weight_decrease,
+    update_until_stable,
+)
+from repro.exceptions import InvalidParameterError, PerturbationError
+from repro.functions.modular import ModularFunction
+from repro.metrics.matrix import DistanceMatrix
+
+
+class TestPerturbationModel:
+    def test_kinds(self):
+        assert WeightIncrease(0, 1.0).kind is PerturbationType.WEIGHT_INCREASE
+        assert WeightDecrease(0, 1.0).kind is PerturbationType.WEIGHT_DECREASE
+        assert DistanceIncrease(0, 1, 1.0).kind is PerturbationType.DISTANCE_INCREASE
+        assert DistanceDecrease(0, 1, 1.0).kind is PerturbationType.DISTANCE_DECREASE
+
+    def test_deltas_must_be_positive(self):
+        with pytest.raises(PerturbationError):
+            WeightIncrease(0, 0.0)
+        with pytest.raises(PerturbationError):
+            WeightDecrease(0, -1.0)
+        with pytest.raises(PerturbationError):
+            DistanceIncrease(0, 1, 0.0)
+
+    def test_distance_perturbation_needs_distinct_endpoints(self):
+        with pytest.raises(PerturbationError):
+            DistanceIncrease(2, 2, 1.0)
+
+    def test_describe(self):
+        assert "Type I" in describe(WeightIncrease(3, 0.5))
+        assert "Type IV" in describe(DistanceDecrease(0, 1, 0.25))
+
+
+class TestUpdateRules:
+    def _objective(self):
+        weights = ModularFunction([1.0, 0.2, 0.3, 0.1])
+        metric = DistanceMatrix(
+            np.array(
+                [
+                    [0.0, 1.0, 1.0, 1.0],
+                    [1.0, 0.0, 1.5, 1.2],
+                    [1.0, 1.5, 0.0, 1.9],
+                    [1.0, 1.2, 1.9, 0.0],
+                ]
+            )
+        )
+        return Objective(weights, metric, tradeoff=1.0)
+
+    def test_best_swap_finds_improving_move(self):
+        objective = self._objective()
+        solution = {0, 1}
+        move = best_swap(objective, solution)
+        assert move is not None
+        incoming, outgoing, gain = move
+        assert gain == pytest.approx(
+            objective.value(solution - {outgoing} | {incoming}) - objective.value(solution)
+        )
+        assert gain > 0
+
+    def test_best_swap_none_at_local_optimum(self):
+        objective = self._objective()
+        # {2, 3} has the largest pairwise distance and decent weight; check if
+        # it is locally optimal, otherwise walk to the local optimum first.
+        outcome = update_until_stable(objective, {2, 3})
+        assert best_swap(objective, set(outcome.solution)) is None
+
+    def test_oblivious_update_single_swap_only(self):
+        objective = self._objective()
+        outcome = oblivious_update(objective, {1, 3})
+        assert outcome.num_swaps <= 1
+        assert outcome.objective_value == pytest.approx(
+            objective.value(outcome.solution)
+        )
+
+    def test_update_until_stable_improves_monotonically(self):
+        objective = self._objective()
+        outcome = update_until_stable(objective, {1, 3})
+        gains = [gain for _, _, gain in outcome.swaps]
+        assert all(g > 0 for g in gains)
+        assert outcome.objective_value >= objective.value({1, 3})
+
+    def test_update_until_stable_respects_cap(self):
+        objective = self._objective()
+        outcome = update_until_stable(objective, {1, 3}, max_updates=0)
+        assert outcome.num_swaps == 0
+        with pytest.raises(InvalidParameterError):
+            update_until_stable(objective, {1, 3}, max_updates=-1)
+
+
+class TestTheorem4Schedule:
+    def test_small_decrease_single_update(self):
+        assert required_updates_for_weight_decrease(10.0, 1.0, p=6) == 1
+
+    def test_threshold_is_w_over_p_minus_2(self):
+        w, p = 12.0, 6
+        assert required_updates_for_weight_decrease(w, w / (p - 2), p) == 1
+        assert required_updates_for_weight_decrease(w, w / (p - 2) + 0.5, p) >= 1
+
+    def test_formula_matches_paper(self):
+        w, delta, p = 10.0, 5.0, 7
+        expected = math.ceil(math.log(w / (w - delta), (p - 2) / (p - 3)))
+        assert required_updates_for_weight_decrease(w, delta, p) == expected
+
+    def test_p_at_most_three_needs_single_update(self):
+        assert required_updates_for_weight_decrease(10.0, 9.0, p=3) == 1
+
+    def test_zero_delta_needs_no_update(self):
+        assert required_updates_for_weight_decrease(10.0, 0.0, p=5) == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            required_updates_for_weight_decrease(-1.0, 0.5, 5)
+        with pytest.raises(InvalidParameterError):
+            required_updates_for_weight_decrease(1.0, -0.5, 5)
+        with pytest.raises(InvalidParameterError):
+            required_updates_for_weight_decrease(1.0, 2.0, 5)
+
+
+class TestDynamicDiversifier:
+    def _engine(self, n=10, p=4, seed=0, **kwargs) -> DynamicDiversifier:
+        instance = make_synthetic_instance(n, seed=seed)
+        return DynamicDiversifier(
+            instance.weights,
+            instance.distances,
+            p,
+            tradeoff=instance.tradeoff,
+            **kwargs,
+        )
+
+    def test_initial_solution_is_greedy(self):
+        instance = make_synthetic_instance(10, seed=0)
+        engine = DynamicDiversifier(
+            instance.weights, instance.distances, 4, tradeoff=instance.tradeoff
+        )
+        greedy = greedy_diversify(instance.objective, 4)
+        assert engine.solution == greedy.selected
+
+    def test_explicit_initial_solution(self):
+        instance = make_synthetic_instance(8, seed=1)
+        engine = DynamicDiversifier(
+            instance.weights,
+            instance.distances,
+            3,
+            tradeoff=instance.tradeoff,
+            initial_solution=[0, 1, 2],
+        )
+        assert engine.solution == frozenset({0, 1, 2})
+
+    def test_initial_solution_size_validated(self):
+        instance = make_synthetic_instance(8, seed=1)
+        with pytest.raises(InvalidParameterError):
+            DynamicDiversifier(
+                instance.weights,
+                instance.distances,
+                3,
+                initial_solution=[0, 1],
+            )
+
+    def test_weight_increase_applied(self):
+        engine = self._engine()
+        element = next(iter(set(range(engine.n)) - engine.solution))
+        before = engine.weight(element)
+        engine.apply(WeightIncrease(element, 0.7))
+        assert engine.weight(element) == pytest.approx(before + 0.7)
+
+    def test_weight_decrease_cannot_go_negative(self):
+        engine = self._engine()
+        element = 0
+        with pytest.raises(PerturbationError):
+            engine.apply(WeightDecrease(element, engine.weight(element) + 1.0))
+
+    def test_distance_perturbations_applied(self):
+        engine = self._engine()
+        before = engine.distance(0, 1)
+        engine.apply(DistanceIncrease(0, 1, 0.05))
+        assert engine.distance(0, 1) == pytest.approx(before + 0.05)
+        engine.apply(DistanceDecrease(0, 1, 0.03))
+        assert engine.distance(0, 1) == pytest.approx(before + 0.02)
+
+    def test_metric_validation_rejects_triangle_breaking_change(self):
+        engine = self._engine(validate_metric=True)
+        before = engine.distance(0, 1)
+        with pytest.raises(PerturbationError):
+            engine.apply(DistanceIncrease(0, 1, 10.0))
+        # rolled back
+        assert engine.distance(0, 1) == pytest.approx(before)
+
+    def test_update_improves_or_keeps_value(self):
+        engine = self._engine()
+        element = next(iter(set(range(engine.n)) - engine.solution))
+        value_before = engine.solution_value
+        outcome = engine.apply(WeightIncrease(element, 1.5))
+        assert outcome.objective_value >= value_before - 1e-9
+
+    def test_history_records_everything(self):
+        engine = self._engine()
+        engine.apply(WeightIncrease(1, 0.2))
+        engine.apply(DistanceDecrease(0, 1, 0.01))
+        assert len(engine.history) == 2
+        assert isinstance(engine.history[0][0], WeightIncrease)
+
+    def test_rebuild_recomputes_greedy(self):
+        engine = self._engine()
+        engine.apply(WeightIncrease(0, 2.0))
+        rebuilt = engine.rebuild()
+        greedy = greedy_diversify(engine.objective, engine.p)
+        assert rebuilt == greedy.selected
+
+    def test_p_validation(self):
+        instance = make_synthetic_instance(5, seed=2)
+        with pytest.raises(InvalidParameterError):
+            DynamicDiversifier(instance.weights, instance.distances, 0)
+        with pytest.raises(InvalidParameterError):
+            DynamicDiversifier(instance.weights, instance.distances, 6)
+
+
+class TestRatioMaintenance:
+    """Corollary 4: starting from a good solution, a single oblivious update
+    keeps the approximation ratio at most 3 for all four perturbation types
+    (with the Type II magnitude restriction)."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_weight_increase_keeps_ratio_3(self, seed):
+        instance = make_synthetic_instance(9, seed=seed)
+        engine = DynamicDiversifier(
+            instance.weights, instance.distances, 4, tradeoff=instance.tradeoff
+        )
+        rng = np.random.default_rng(seed)
+        element = int(rng.integers(0, 9))
+        engine.apply(WeightIncrease(element, float(rng.uniform(0.1, 1.0))), updates=1)
+        assert engine.approximation_ratio() <= 3.0 + 1e-9
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_bounded_weight_decrease_keeps_ratio_3(self, seed):
+        instance = make_synthetic_instance(9, seed=seed)
+        engine = DynamicDiversifier(
+            instance.weights, instance.distances, 4, tradeoff=instance.tradeoff
+        )
+        rng = np.random.default_rng(seed + 100)
+        element = int(rng.integers(0, 9))
+        # Restrict the decrease to w/(p-2) of the current solution value
+        # (Theorem 4's single-update regime), and to the element's weight.
+        cap = min(engine.solution_value / (engine.p - 2), engine.weight(element))
+        if cap <= 0:
+            pytest.skip("element has zero weight")
+        engine.apply(WeightDecrease(element, float(cap * 0.9)), updates=1)
+        assert engine.approximation_ratio() <= 3.0 + 1e-9
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_distance_perturbations_keep_ratio_3(self, seed):
+        instance = make_synthetic_instance(9, seed=seed)
+        engine = DynamicDiversifier(
+            instance.weights, instance.distances, 4, tradeoff=instance.tradeoff
+        )
+        rng = np.random.default_rng(seed + 200)
+        u, v = map(int, rng.choice(9, size=2, replace=False))
+        current = engine.distance(u, v)
+        target = float(rng.uniform(1.0, 2.0))
+        if target > current:
+            engine.apply(DistanceIncrease(u, v, target - current), updates=1)
+        elif target < current:
+            engine.apply(DistanceDecrease(u, v, current - target), updates=1)
+        assert engine.approximation_ratio() <= 3.0 + 1e-9
+
+    def test_large_weight_decrease_with_theorem4_schedule(self):
+        instance = make_synthetic_instance(9, seed=7)
+        engine = DynamicDiversifier(
+            instance.weights, instance.distances, 5, tradeoff=instance.tradeoff
+        )
+        # Decrease a solution element's weight by a large fraction and let the
+        # engine apply the Theorem 4 multi-update schedule automatically.
+        element = next(iter(engine.solution))
+        delta = engine.weight(element) * 0.95
+        if delta <= 0:
+            pytest.skip("element has zero weight")
+        engine.apply(WeightDecrease(element, delta))
+        assert engine.approximation_ratio() <= 3.0 + 1e-9

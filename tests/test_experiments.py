@@ -1,0 +1,190 @@
+"""Tests for the experiment harness and the table/figure reproduction code.
+
+These use deliberately tiny workloads; the full paper-scale settings are the
+functions' defaults and are exercised by the benchmark targets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.letor import SyntheticLetorCorpus
+from repro.data.synthetic import make_synthetic_instance
+from repro.core.greedy import greedy_diversify
+from repro.core.exact import exact_diversify
+from repro.exceptions import InvalidParameterError
+from repro.experiments.appendix import appendix_bad_instance, run_appendix_comparison
+from repro.experiments.dynamic_fig import figure1
+from repro.experiments.harness import aggregate_trials, compare_algorithms
+from repro.experiments.reporting import dict_rows, format_table, rows_to_markdown
+from repro.experiments.tables import (
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+)
+
+
+class TestHarness:
+    def test_compare_and_aggregate(self):
+        objective = make_synthetic_instance(12, seed=0).objective
+        algorithms = {
+            "greedy": lambda obj, p: greedy_diversify(obj, p),
+        }
+        rows = [
+            compare_algorithms(objective, 3, algorithms, compute_optimal=lambda o, p: exact_diversify(o, p))
+            for _ in range(2)
+        ]
+        aggregate = aggregate_trials(rows)
+        assert aggregate.trials == 2
+        assert aggregate.mean_optimal is not None
+        af = aggregate.approximation_factor("greedy")
+        assert 1.0 <= af <= 2.0
+        assert rows[0].approximation_factor("greedy") == pytest.approx(af)
+
+    def test_relative_factor_and_time_ratio(self):
+        objective = make_synthetic_instance(10, seed=1).objective
+        algorithms = {
+            "a": lambda obj, p: greedy_diversify(obj, p),
+            "b": lambda obj, p: greedy_diversify(obj, p, start="best_pair"),
+        }
+        row = compare_algorithms(objective, 3, algorithms)
+        aggregate = aggregate_trials([row])
+        assert aggregate.relative_factor("b", "a") is not None
+        assert aggregate.time_ratio("a", "b") is not None
+
+    def test_empty_inputs_rejected(self):
+        objective = make_synthetic_instance(5, seed=2).objective
+        with pytest.raises(InvalidParameterError):
+            compare_algorithms(objective, 2, {})
+        with pytest.raises(InvalidParameterError):
+            aggregate_trials([])
+
+    def test_mixed_p_rejected(self):
+        objective = make_synthetic_instance(8, seed=3).objective
+        algorithms = {"greedy": lambda obj, p: greedy_diversify(obj, p)}
+        rows = [
+            compare_algorithms(objective, 2, algorithms),
+            compare_algorithms(objective, 3, algorithms),
+        ]
+        with pytest.raises(InvalidParameterError):
+            aggregate_trials(rows)
+
+
+class TestReporting:
+    def test_format_table_aligns_columns(self):
+        text = format_table(["a", "bb"], [[1, 2.34567], [None, "x"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "2.346" in text
+        assert "-" in lines[-1]
+
+    def test_rows_to_markdown(self):
+        text = rows_to_markdown(["x"], [[1.23456]])
+        assert text.startswith("| x |")
+        assert "1.235" in text
+
+    def test_dict_rows_projection(self):
+        rows = dict_rows([{"a": 1, "b": 2}], ["b", "a", "missing"])
+        assert rows == [[2, 1, None]]
+
+
+class TestTables:
+    """Each table function runs end-to-end on a tiny configuration."""
+
+    def test_table1_small(self):
+        table = table1(n=10, p_values=(2, 3), trials=2, seed=1)
+        assert len(table.records) == 2
+        for record in table.records:
+            assert record["OPT"] >= record["GreedyB"] - 1e-9
+            assert 1.0 <= record["AF_GreedyB"] <= 2.0
+        assert "Table 1" in table.render()
+
+    def test_table2_small(self):
+        table = table2(n=15, p_values=(3, 5), trials=1, seed=2)
+        assert len(table.records) == 2
+        for record in table.records:
+            assert record["LS"] >= record["GreedyB"] - 1e-9
+            assert record["Time_GreedyB_ms"] >= 0.0
+
+    def test_table3_small(self):
+        table = table3(n=10, p_values=(2, 3), trials=1, seed=3)
+        assert len(table.records) == 2
+        for record in table.records:
+            assert 1.0 <= record["AF_GreedyB"] <= 2.0
+
+    def test_table4_small(self):
+        corpus = SyntheticLetorCorpus(num_queries=1, docs_per_query=15, seed=4)
+        table = table4(top_k=12, p_values=(2, 3), corpus=corpus)
+        assert len(table.records) == 2
+        for record in table.records:
+            assert record["OPT"] >= max(record["GreedyA"], record["GreedyB"]) - 1e-9
+
+    def test_table5_small(self):
+        corpus = SyntheticLetorCorpus(num_queries=1, docs_per_query=20, seed=5)
+        table = table5(top_k=20, p_values=(3, 5), corpus=corpus)
+        assert len(table.records) == 2
+        for record in table.records:
+            assert record["LS"] >= record["GreedyB"] - 1e-9
+
+    def test_table6_small(self):
+        corpus = SyntheticLetorCorpus(num_queries=2, docs_per_query=12, seed=6)
+        table = table6(num_queries=2, top_k=10, p_values=(2, 3), corpus=corpus)
+        assert len(table.records) == 2
+        for record in table.records:
+            assert record["AF_GreedyA"] >= 1.0 - 1e-9
+            assert record["AF_GreedyB"] >= 1.0 - 1e-9
+
+    def test_table7_small(self):
+        corpus = SyntheticLetorCorpus(num_queries=2, docs_per_query=12, seed=7)
+        table = table7(num_queries=2, docs_per_query=12, p_values=(3,), corpus=corpus)
+        assert len(table.records) == 1
+        assert table.records[0]["AF_B/A"] > 0
+
+    def test_table8_small(self):
+        corpus = SyntheticLetorCorpus(num_queries=1, docs_per_query=12, seed=8)
+        table = table8(top_k=10, p_values=(2, 3), corpus=corpus)
+        assert len(table.records) == 2
+        for record, p in zip(table.records, (2, 3)):
+            assert len(record["GreedyB_docs"].split()) == p
+            assert 0 <= record["B∩OPT"] <= p
+
+
+class TestFigure1:
+    def test_small_run_shapes(self):
+        result = figure1(n=8, p=3, tradeoffs=(0.2, 0.8), steps=3, repeats=2, seed=9)
+        assert set(result.curves) == {"VPERTURBATION", "EPERTURBATION", "MPERTURBATION"}
+        for curve in result.curves.values():
+            assert set(curve) == {0.2, 0.8}
+        assert 1.0 <= result.worst_overall() <= 3.0 + 1e-9
+        assert "Figure 1" in result.render()
+
+
+class TestAppendix:
+    def test_bad_instance_structure(self):
+        instance = appendix_bad_instance(r=10)
+        assert instance.objective.n == 12
+        assert instance.matroid.rank() == 11
+        assert instance.optimal_like_value > instance.greedy_trap_value
+
+    def test_greedy_ratio_grows_with_r(self):
+        small = run_appendix_comparison(appendix_bad_instance(r=6))
+        large = run_appendix_comparison(appendix_bad_instance(r=20))
+        assert large["greedy_ratio"] > small["greedy_ratio"] > 1.0
+
+    def test_local_search_is_fine_on_bad_instance(self):
+        comparison = run_appendix_comparison(appendix_bad_instance(r=12))
+        assert comparison["local_search_ratio"] <= 2.0 + 1e-6
+        assert comparison["greedy_ratio"] > comparison["local_search_ratio"]
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            appendix_bad_instance(r=1)
+        with pytest.raises(InvalidParameterError):
+            appendix_bad_instance(r=5, ell=-1.0)
+        with pytest.raises(InvalidParameterError):
+            appendix_bad_instance(r=5, epsilon=0.0)

@@ -1,0 +1,45 @@
+"""Tests for the ``python -m repro.experiments`` command-line entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.__main__ import TARGETS, main
+
+
+class TestCli:
+    def test_table_target_prints_rows(self, capsys):
+        assert main(["table1", "--quick"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output
+        assert "GreedyB" in output
+
+    def test_figure_target(self, capsys):
+        assert main(["figure1", "--quick"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 1" in output
+        assert "VPERTURBATION" in output
+
+    def test_appendix_target(self, capsys):
+        assert main(["appendix", "--quick"]) == 0
+        output = capsys.readouterr().out
+        assert "greedy_ratio" in output
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table99"])
+
+    def test_targets_list_is_complete(self):
+        assert set(TARGETS) == {
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "table7",
+            "table8",
+            "figure1",
+            "appendix",
+            "all",
+        }

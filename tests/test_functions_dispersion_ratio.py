@@ -1,0 +1,82 @@
+"""Tests for DispersionFunction and the submodularity-ratio diagnostic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.objective import Objective
+from repro.exceptions import InvalidParameterError
+from repro.functions.modular import ModularFunction
+from repro.functions.coverage import CoverageFunction
+from repro.functions.verification import check_normalized, is_monotone, is_submodular
+from repro.functions.weakly_submodular import DispersionFunction, submodularity_ratio
+from repro.metrics.aggregates import set_distance
+from repro.metrics.discrete import UniformRandomMetric
+
+
+class TestDispersionFunction:
+    def test_value_matches_set_distance(self, small_matrix):
+        g = DispersionFunction(small_matrix)
+        for subset in ({0, 1}, {0, 1, 2}, set(), {3}):
+            assert g.value(subset) == pytest.approx(set_distance(small_matrix, subset))
+
+    def test_marginal_matches_difference(self, small_matrix):
+        g = DispersionFunction(small_matrix)
+        subset = {0, 2}
+        for u in (1, 3):
+            assert g.marginal(u, subset) == pytest.approx(
+                g.value(subset | {u}) - g.value(subset)
+            )
+        assert g.marginal(0, subset) == 0.0
+
+    def test_monotone_normalized_but_not_submodular(self):
+        metric = UniformRandomMetric(7, seed=2)
+        g = DispersionFunction(metric)
+        check_normalized(g)
+        assert is_monotone(g)
+        assert not is_submodular(g)
+        assert not g.declares_submodular
+
+    def test_objective_equivalence(self):
+        """φ(S) = f(S) + λ·d(S) can equivalently be built from the wrapper."""
+        metric = UniformRandomMetric(8, seed=3)
+        weights = ModularFunction([0.1 * i for i in range(8)])
+        objective = Objective(weights, metric, tradeoff=0.4)
+        dispersion = DispersionFunction(metric)
+        subset = {1, 4, 6}
+        assert objective.value(subset) == pytest.approx(
+            weights.value(subset) + 0.4 * dispersion.value(subset)
+        )
+
+
+class TestSubmodularityRatio:
+    def test_modular_function_has_ratio_one(self):
+        f = ModularFunction([0.5, 1.0, 2.0, 0.2, 0.9])
+        assert submodularity_ratio(f) == pytest.approx(1.0)
+
+    def test_submodular_function_has_ratio_at_least_one(self):
+        f = CoverageFunction.random(6, 5, seed=1)
+        assert submodularity_ratio(f) >= 1.0 - 1e-9
+
+    def test_dispersion_ratio_zero_with_empty_base(self):
+        g = DispersionFunction(UniformRandomMetric(6, seed=4))
+        assert submodularity_ratio(g, min_base_size=0) == pytest.approx(0.0)
+
+    def test_dispersion_ratio_positive_with_nonempty_base(self):
+        g = DispersionFunction(UniformRandomMetric(6, seed=5))
+        ratio = submodularity_ratio(g, min_base_size=1)
+        assert 0.0 < ratio < 1.0
+
+    def test_sampled_mode(self):
+        g = DispersionFunction(UniformRandomMetric(15, seed=6))
+        ratio = submodularity_ratio(
+            g, min_base_size=1, exhaustive_limit=5, samples=100, seed=0
+        )
+        assert 0.0 < ratio <= 1.0 + 1e-9
+
+    def test_validation(self):
+        f = ModularFunction([1.0, 2.0, 3.0])
+        with pytest.raises(InvalidParameterError):
+            submodularity_ratio(f, min_base_size=-1)
+        with pytest.raises(InvalidParameterError):
+            submodularity_ratio(f, max_extension=1)

@@ -1,0 +1,199 @@
+"""Tests for the genuinely submodular quality families."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.functions.coverage import CoverageFunction
+from repro.functions.facility_location import FacilityLocationFunction
+from repro.functions.log_det import LogDeterminantFunction
+from repro.functions.mixtures import MixtureFunction, ScaledFunction
+from repro.functions.modular import ModularFunction
+from repro.functions.saturated import SaturatedCoverageFunction
+from repro.functions.verification import (
+    check_normalized,
+    is_monotone,
+    is_submodular,
+)
+
+
+class TestCoverage:
+    def test_value_counts_covered_topics(self):
+        f = CoverageFunction([[0, 1], [1, 2], [3]])
+        assert f.value({0}) == pytest.approx(2.0)
+        assert f.value({0, 1}) == pytest.approx(3.0)
+        assert f.value({0, 1, 2}) == pytest.approx(4.0)
+
+    def test_weighted_topics(self):
+        f = CoverageFunction([[0], [1]], {0: 2.0, 1: 0.5})
+        assert f.value({0, 1}) == pytest.approx(2.5)
+
+    def test_marginal_only_new_topics(self):
+        f = CoverageFunction([[0, 1], [1]])
+        assert f.marginal(1, {0}) == 0.0
+        assert f.marginal(0, {1}) == pytest.approx(1.0)
+
+    def test_rejects_negative_topic_weight(self):
+        with pytest.raises(InvalidParameterError):
+            CoverageFunction([[0]], {0: -1.0})
+
+    def test_random_generator_properties(self):
+        f = CoverageFunction.random(8, 10, topics_per_element=3, seed=0)
+        check_normalized(f)
+        assert is_monotone(f)
+        assert is_submodular(f)
+
+    def test_covered_topics(self):
+        f = CoverageFunction([[0, 1], [2]])
+        assert f.covered_topics({0, 1}) == {0, 1, 2}
+        assert f.topics_of(1) == frozenset({2})
+
+
+class TestSaturatedCoverage:
+    def _similarity(self):
+        rng = np.random.default_rng(1)
+        features = rng.uniform(0.1, 1.0, size=(8, 4))
+        unit = features / np.linalg.norm(features, axis=1)[:, None]
+        return np.clip(unit @ unit.T, 0.0, 1.0)
+
+    def test_normalized_monotone_submodular(self):
+        f = SaturatedCoverageFunction(self._similarity(), saturation=0.3)
+        check_normalized(f)
+        assert is_monotone(f)
+        assert is_submodular(f)
+
+    def test_saturation_caps_value(self):
+        similarity = self._similarity()
+        f = SaturatedCoverageFunction(similarity, saturation=0.25)
+        full_value = f.value(range(8))
+        assert full_value <= 0.25 * similarity.sum() + 1e-9
+
+    def test_marginal_matches_difference(self):
+        f = SaturatedCoverageFunction(self._similarity(), saturation=0.5)
+        subset = {1, 3}
+        for u in (0, 2, 5):
+            assert f.marginal(u, subset) == pytest.approx(
+                f.value(subset | {u}) - f.value(subset)
+            )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            SaturatedCoverageFunction(np.ones((2, 3)))
+        with pytest.raises(InvalidParameterError):
+            SaturatedCoverageFunction(np.ones((2, 2)), saturation=0.0)
+        with pytest.raises(InvalidParameterError):
+            SaturatedCoverageFunction(-np.ones((2, 2)))
+
+    def test_from_features(self):
+        rng = np.random.default_rng(2)
+        f = SaturatedCoverageFunction.from_features(rng.uniform(0.1, 1, (6, 3)))
+        assert f.n == 6
+        assert is_submodular(f)
+
+
+class TestFacilityLocation:
+    def test_value_is_sum_of_best_similarity(self):
+        similarity = np.array(
+            [
+                [1.0, 0.2, 0.5],
+                [0.2, 1.0, 0.1],
+                [0.5, 0.1, 1.0],
+            ]
+        )
+        f = FacilityLocationFunction(similarity)
+        assert f.value({0}) == pytest.approx(1.0 + 0.2 + 0.5)
+        assert f.value({0, 1}) == pytest.approx(1.0 + 1.0 + 0.5)
+
+    def test_monotone_submodular(self):
+        rng = np.random.default_rng(3)
+        f = FacilityLocationFunction(rng.uniform(0, 1, size=(7, 7)))
+        assert is_monotone(f)
+        assert is_submodular(f)
+
+    def test_marginal_matches_difference(self):
+        rng = np.random.default_rng(4)
+        f = FacilityLocationFunction(rng.uniform(0, 1, size=(6, 6)))
+        subset = {0, 4}
+        for u in (1, 2, 3, 5):
+            assert f.marginal(u, subset) == pytest.approx(
+                f.value(subset | {u}) - f.value(subset)
+            )
+
+    def test_from_distances(self):
+        distances = np.array([[0.0, 2.0], [2.0, 0.0]])
+        f = FacilityLocationFunction.from_distances(distances)
+        assert f.value({0}) == pytest.approx(2.0)  # self similarity 2, other 0
+
+    def test_rejects_negative_similarity(self):
+        with pytest.raises(InvalidParameterError):
+            FacilityLocationFunction(np.array([[0.0, -1.0], [-1.0, 0.0]]))
+
+
+class TestLogDeterminant:
+    def test_monotone_submodular(self):
+        rng = np.random.default_rng(5)
+        f = LogDeterminantFunction.from_features(rng.normal(size=(7, 3)), bandwidth=1.5)
+        check_normalized(f)
+        assert is_monotone(f)
+        assert is_submodular(f)
+
+    def test_orthogonal_kernel_is_additive(self):
+        f = LogDeterminantFunction(np.eye(4))
+        assert f.value({0, 1}) == pytest.approx(2 * np.log(2.0), rel=1e-6)
+
+    def test_rejects_non_psd(self):
+        bad = np.array([[0.0, 2.0], [2.0, 0.0]])
+        with pytest.raises(InvalidParameterError):
+            LogDeterminantFunction(bad)
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(InvalidParameterError):
+            LogDeterminantFunction.from_features(np.zeros((3, 2)), bandwidth=0.0)
+
+
+class TestMixtures:
+    def test_scaled_function(self):
+        f = ScaledFunction(ModularFunction([1.0, 2.0]), 3.0)
+        assert f.value({0, 1}) == pytest.approx(9.0)
+        assert f.marginal(1, set()) == pytest.approx(6.0)
+        assert f.is_modular
+
+    def test_scale_must_be_non_negative(self):
+        with pytest.raises(InvalidParameterError):
+            ScaledFunction(ModularFunction([1.0]), -1.0)
+
+    def test_mixture_value_and_marginal(self):
+        modular = ModularFunction([1.0, 0.0, 0.0])
+        coverage = CoverageFunction([[0], [0], [1]])
+        mixture = MixtureFunction([modular, coverage], [2.0, 1.0])
+        assert mixture.value({0}) == pytest.approx(2.0 + 1.0)
+        assert mixture.marginal(1, {0}) == pytest.approx(0.0)
+        assert mixture.marginal(2, {0}) == pytest.approx(1.0)
+
+    def test_mixture_of_submodular_is_submodular(self):
+        rng = np.random.default_rng(6)
+        facility = FacilityLocationFunction(rng.uniform(0, 1, size=(6, 6)))
+        coverage = CoverageFunction.random(6, 5, seed=1)
+        mixture = MixtureFunction([facility, coverage])
+        assert is_monotone(mixture)
+        assert is_submodular(mixture)
+
+    def test_mixture_validation(self):
+        with pytest.raises(InvalidParameterError):
+            MixtureFunction([])
+        with pytest.raises(InvalidParameterError):
+            MixtureFunction([ModularFunction([1.0]), ModularFunction([1.0, 2.0])])
+        with pytest.raises(InvalidParameterError):
+            MixtureFunction([ModularFunction([1.0])], [1.0, 2.0])
+        with pytest.raises(InvalidParameterError):
+            MixtureFunction([ModularFunction([1.0])], [-1.0])
+
+    def test_mixture_is_modular_flag(self):
+        modular_mix = MixtureFunction([ModularFunction([1.0, 2.0]), ModularFunction([0.0, 1.0])])
+        assert modular_mix.is_modular
+        nonmodular_mix = MixtureFunction(
+            [ModularFunction([1.0, 2.0]), CoverageFunction([[0], [0]])]
+        )
+        assert not nonmodular_mix.is_modular

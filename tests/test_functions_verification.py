@@ -1,0 +1,126 @@
+"""Tests for the set-function verification utilities."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import pytest
+
+from repro.exceptions import (
+    InvalidParameterError,
+    NotMonotoneError,
+    NotSubmodularError,
+    SetFunctionError,
+)
+from repro.functions.base import SetFunction
+from repro.functions.modular import ModularFunction
+from repro.functions.verification import (
+    check_monotone,
+    check_normalized,
+    check_submodular,
+    estimate_curvature,
+    is_monotone,
+    is_submodular,
+    marginal_violations,
+)
+
+
+class _SupermodularPair(SetFunction):
+    """f(S) = |S|^2 — monotone but supermodular (increasing marginals)."""
+
+    def __init__(self, n: int) -> None:
+        self._n = n
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def value(self, subset: Iterable[int]) -> float:
+        return float(len(self._as_set(subset)) ** 2)
+
+
+class _NonMonotone(SetFunction):
+    """f(S) = |S| * (3 - |S|) — normalized but decreasing past |S| = 2."""
+
+    def __init__(self, n: int) -> None:
+        self._n = n
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def value(self, subset: Iterable[int]) -> float:
+        size = len(self._as_set(subset))
+        return float(size * (3 - size))
+
+
+class _NotNormalized(SetFunction):
+    def __init__(self, n: int) -> None:
+        self._n = n
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def value(self, subset: Iterable[int]) -> float:
+        return 1.0 + len(self._as_set(subset))
+
+
+class TestChecks:
+    def test_modular_passes_everything(self):
+        f = ModularFunction([0.3, 0.7, 1.1])
+        check_normalized(f)
+        check_monotone(f)
+        check_submodular(f)
+
+    def test_supermodular_detected(self):
+        f = _SupermodularPair(5)
+        assert is_monotone(f)
+        assert not is_submodular(f)
+        with pytest.raises(NotSubmodularError):
+            check_submodular(f)
+
+    def test_non_monotone_detected(self):
+        f = _NonMonotone(5)
+        assert not is_monotone(f)
+        with pytest.raises(NotMonotoneError):
+            check_monotone(f)
+
+    def test_not_normalized_detected(self):
+        with pytest.raises(SetFunctionError):
+            check_normalized(_NotNormalized(3))
+
+    def test_sampled_mode_detects_supermodularity(self):
+        f = _SupermodularPair(20)
+        assert not is_submodular(f, exhaustive_limit=5, samples=300, seed=0)
+
+    def test_sampled_mode_detects_non_monotone(self):
+        f = _NonMonotone(20)
+        assert not is_monotone(f, exhaustive_limit=5, samples=300, seed=0)
+
+    def test_marginal_violations_listing(self):
+        violations = marginal_violations(_SupermodularPair(4))
+        assert violations
+        small, large, u, gap = violations[0]
+        assert small <= large
+        assert u not in large
+        assert gap > 0
+
+    def test_marginal_violations_limit_guard(self):
+        with pytest.raises(InvalidParameterError):
+            marginal_violations(_SupermodularPair(30))
+
+
+class TestCurvature:
+    def test_modular_has_zero_curvature(self):
+        assert estimate_curvature(ModularFunction([1.0, 2.0, 3.0])) == pytest.approx(0.0)
+
+    def test_coverage_has_positive_curvature(self):
+        from repro.functions.coverage import CoverageFunction
+
+        f = CoverageFunction([[0], [0], [1]])
+        # Element 0 and 1 fully overlap, so the curvature is 1.
+        assert estimate_curvature(f) == pytest.approx(1.0)
+
+    def test_empty_function(self):
+        assert estimate_curvature(ModularFunction([])) == 0.0

@@ -1,0 +1,98 @@
+"""Integration tests: end-to-end flows across subsystems and the examples."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import (
+    DynamicDiversifier,
+    PartitionMatroid,
+    SyntheticLetorCorpus,
+    UniformMatroid,
+    WeightIncrease,
+    greedy_diversify,
+    local_search_diversify,
+    make_portfolio_instance,
+    make_synthetic_instance,
+    refine_with_local_search,
+    solve,
+)
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestEndToEnd:
+    def test_search_pipeline_greedy_then_ls(self):
+        """The paper's main experimental pipeline on LETOR-like data."""
+        corpus = SyntheticLetorCorpus(num_queries=1, docs_per_query=40, seed=0)
+        query = corpus.query(0).top_documents(30)
+        objective = query.objective(tradeoff=0.2)
+        greedy = greedy_diversify(objective, 8)
+        refined = refine_with_local_search(objective, greedy, p=8)
+        assert refined.objective_value >= greedy.objective_value - 1e-9
+        assert refined.size == 8
+
+    def test_matroid_pipeline_portfolio(self):
+        """Submodular quality + partition matroid, solved by local search."""
+        instance = make_portfolio_instance(18, sector_capacity=1, seed=3)
+        result = local_search_diversify(instance.objective, instance.matroid)
+        assert instance.matroid.is_independent(result.selected)
+        sectors = {instance.sectors[i] for i in result.selected}
+        assert len(sectors) == len(result.selected)  # one stock per sector
+
+    def test_dynamic_pipeline(self):
+        """Initial greedy solution maintained across a perturbation stream."""
+        instance = make_synthetic_instance(12, seed=5)
+        engine = DynamicDiversifier(
+            instance.weights, instance.distances, 4, tradeoff=instance.tradeoff
+        )
+        for element in (0, 3, 7):
+            engine.apply(WeightIncrease(element, 0.4))
+        assert len(engine.history) == 3
+        assert engine.approximation_ratio() <= 3.0 + 1e-9
+
+    def test_solve_facade_matches_direct_calls(self):
+        instance = make_synthetic_instance(15, seed=8)
+        via_facade = solve(instance.quality, instance.metric, tradeoff=0.2, p=5)
+        direct = greedy_diversify(instance.objective, 5)
+        assert via_facade.selected == direct.selected
+
+    def test_uniform_matroid_and_cardinality_agree(self):
+        instance = make_synthetic_instance(12, seed=9)
+        objective = instance.objective
+        greedy = greedy_diversify(objective, 4)
+        local = local_search_diversify(objective, UniformMatroid(12, 4), initial=greedy.selected)
+        assert local.objective_value >= greedy.objective_value - 1e-9
+
+    def test_partition_matroid_blocks_respected_in_facade(self):
+        instance = make_synthetic_instance(12, seed=10)
+        blocks = [i % 4 for i in range(12)]
+        matroid = PartitionMatroid(blocks, {b: 1 for b in range(4)})
+        result = solve(instance.quality, instance.metric, tradeoff=0.2, matroid=matroid)
+        chosen_blocks = [blocks[i] for i in result.selected]
+        assert len(chosen_blocks) == len(set(chosen_blocks))
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "document_search.py",
+        "portfolio_selection.py",
+        "facility_placement.py",
+        "dynamic_stream.py",
+        "streaming_ranking.py",
+    ],
+)
+def test_examples_run(script, monkeypatch, capsys):
+    """Every example script must execute end-to-end and print something."""
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    monkeypatch.setattr(sys, "argv", [str(path), "--quick"])
+    runpy.run_path(str(path), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"example {script} produced no output"

@@ -1,0 +1,87 @@
+"""Tests for bipartite matching and the Brualdi exchange bijection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import MatroidError, NotIndependentError
+from repro.matroids.exchange import exchange_bijection
+from repro.matroids.graphic import GraphicMatroid
+from repro.matroids.matching import hopcroft_karp, maximum_bipartite_matching
+from repro.matroids.partition import PartitionMatroid
+from repro.matroids.transversal import TransversalMatroid
+from repro.matroids.uniform import UniformMatroid
+
+
+class TestHopcroftKarp:
+    def test_perfect_matching(self):
+        adjacency = {0: [0, 1], 1: [0], 2: [1, 2]}
+        matching = hopcroft_karp(adjacency, 3, 3)
+        assert len(matching) == 3
+        assert len(set(matching.values())) == 3
+        for left, right in matching.items():
+            assert right in adjacency[left]
+
+    def test_maximum_but_not_perfect(self):
+        adjacency = {0: [0], 1: [0], 2: [0]}
+        assert maximum_bipartite_matching(adjacency, 3, 1) == 1
+
+    def test_empty_graph(self):
+        assert hopcroft_karp({}, 0, 0) == {}
+        assert hopcroft_karp({0: []}, 1, 1) == {}
+
+    def test_larger_random_instance_agrees_with_bound(self):
+        # A bipartite "crown": left i connects to right i and i+1 (mod k).
+        k = 12
+        adjacency = {i: [i, (i + 1) % k] for i in range(k)}
+        assert maximum_bipartite_matching(adjacency, k, k) == k
+
+
+class TestExchangeBijection:
+    def _check_bijection(self, matroid, basis_x, basis_y):
+        mapping = exchange_bijection(matroid, basis_x, basis_y)
+        assert set(mapping.keys()) == set(basis_x) - set(basis_y)
+        assert set(mapping.values()) == set(basis_y) - set(basis_x)
+        for x, y in mapping.items():
+            swapped = (set(basis_x) - {x}) | {y}
+            assert matroid.is_independent(swapped)
+
+    def test_uniform_matroid(self):
+        matroid = UniformMatroid(6, 3)
+        self._check_bijection(matroid, {0, 1, 2}, {3, 4, 5})
+
+    def test_partition_matroid(self):
+        matroid = PartitionMatroid(["a", "a", "b", "b", "c"], {"a": 1, "b": 1, "c": 1})
+        self._check_bijection(matroid, {0, 2, 4}, {1, 3, 4})
+
+    def test_graphic_matroid(self):
+        # Two spanning trees of K4 (vertices 0..3).
+        edges = [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3)]
+        matroid = GraphicMatroid(4, edges)
+        tree_a = {0, 1, 2}  # path 0-1-2-3
+        tree_b = {3, 4, 5}  # star-ish 3-0, 0-2, 1-3
+        assert matroid.is_independent(tree_a)
+        assert matroid.is_independent(tree_b)
+        self._check_bijection(matroid, tree_a, tree_b)
+
+    def test_transversal_matroid(self):
+        matroid = TransversalMatroid(5, [[0, 1, 2], [2, 3], [4, 0]])
+        basis_a = {0, 2, 4}
+        basis_b = {1, 3, 4}
+        assert matroid.is_independent(basis_a)
+        assert matroid.is_independent(basis_b)
+        self._check_bijection(matroid, basis_a, basis_b)
+
+    def test_identical_bases_give_empty_mapping(self):
+        matroid = UniformMatroid(4, 2)
+        assert exchange_bijection(matroid, {0, 1}, {0, 1}) == {}
+
+    def test_rejects_dependent_sets(self):
+        matroid = UniformMatroid(4, 2)
+        with pytest.raises(NotIndependentError):
+            exchange_bijection(matroid, {0, 1, 2}, {0, 1})
+
+    def test_rejects_unequal_cardinalities(self):
+        matroid = UniformMatroid(4, 2)
+        with pytest.raises(MatroidError):
+            exchange_bijection(matroid, {0, 1}, {2})

@@ -1,0 +1,114 @@
+"""Tests for set-distance aggregates and the incremental marginal tracker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.metrics.aggregates import (
+    MarginalDistanceTracker,
+    marginal_distance,
+    set_cross_distance,
+    set_distance,
+)
+from repro.metrics.discrete import UniformRandomMetric
+
+
+class TestSetDistance:
+    def test_small_example(self, small_matrix):
+        assert set_distance(small_matrix, [0, 1, 2]) == pytest.approx(1.0 + 2.0 + 1.2)
+
+    def test_empty_and_singleton(self, small_matrix):
+        assert set_distance(small_matrix, []) == 0.0
+        assert set_distance(small_matrix, [2]) == 0.0
+
+    def test_duplicates_ignored(self, small_matrix):
+        assert set_distance(small_matrix, [0, 1, 1]) == pytest.approx(1.0)
+
+    def test_cross_distance(self, small_matrix):
+        value = set_cross_distance(small_matrix, [0, 1], [2, 3])
+        expected = 2.0 + 1.5 + 1.2 + 1.8
+        assert value == pytest.approx(expected)
+
+    def test_cross_distance_requires_disjoint(self, small_matrix):
+        with pytest.raises(InvalidParameterError):
+            set_cross_distance(small_matrix, [0, 1], [1, 2])
+
+    def test_marginal_distance(self, small_matrix):
+        assert marginal_distance(small_matrix, 0, [1, 2]) == pytest.approx(3.0)
+        assert marginal_distance(small_matrix, 0, [0, 1]) == pytest.approx(1.0)
+
+    def test_decomposition_identity(self, small_matrix):
+        # d(A ∪ C) = d(A) + d(C) + d(A, C), equation (4) of the paper.
+        a, c = [0, 1], [2, 3]
+        total = set_distance(small_matrix, a + c)
+        assert total == pytest.approx(
+            set_distance(small_matrix, a)
+            + set_distance(small_matrix, c)
+            + set_cross_distance(small_matrix, a, c)
+        )
+
+
+class TestMarginalDistanceTracker:
+    def test_add_updates_marginals(self, small_matrix):
+        tracker = MarginalDistanceTracker(small_matrix)
+        assert tracker.marginal(1) == 0.0
+        tracker.add(0)
+        assert tracker.marginal(1) == pytest.approx(1.0)
+        tracker.add(2)
+        assert tracker.marginal(1) == pytest.approx(2.2)
+        assert tracker.internal_dispersion == pytest.approx(2.0)
+
+    def test_remove_restores_state(self, small_matrix):
+        tracker = MarginalDistanceTracker(small_matrix, initial=[0, 1, 2])
+        before = tracker.marginals()
+        tracker.add(3)
+        tracker.remove(3)
+        assert np.allclose(tracker.marginals(), before)
+        assert tracker.members == frozenset({0, 1, 2})
+
+    def test_swap_equals_remove_add(self, small_matrix):
+        tracker = MarginalDistanceTracker(small_matrix, initial=[0, 1])
+        tracker.swap(incoming=3, outgoing=1)
+        assert tracker.members == frozenset({0, 3})
+        assert tracker.internal_dispersion == pytest.approx(small_matrix.distance(0, 3))
+
+    def test_dispersion_matches_set_distance(self):
+        metric = UniformRandomMetric(12, seed=7)
+        tracker = MarginalDistanceTracker(metric)
+        members = []
+        for element in [3, 7, 1, 9, 0]:
+            tracker.add(element)
+            members.append(element)
+            assert tracker.internal_dispersion == pytest.approx(
+                set_distance(metric, members)
+            )
+
+    def test_marginal_matches_direct_computation(self):
+        metric = UniformRandomMetric(10, seed=11)
+        tracker = MarginalDistanceTracker(metric, initial=[2, 5, 8])
+        for u in range(10):
+            if u in (2, 5, 8):
+                continue
+            assert tracker.marginal(u) == pytest.approx(
+                marginal_distance(metric, u, [2, 5, 8])
+            )
+
+    def test_double_add_rejected(self, small_matrix):
+        tracker = MarginalDistanceTracker(small_matrix, initial=[0])
+        with pytest.raises(InvalidParameterError):
+            tracker.add(0)
+
+    def test_remove_missing_rejected(self, small_matrix):
+        tracker = MarginalDistanceTracker(small_matrix)
+        with pytest.raises(InvalidParameterError):
+            tracker.remove(1)
+
+    def test_rebuild(self, small_matrix):
+        tracker = MarginalDistanceTracker(small_matrix, initial=[0, 1])
+        tracker.rebuild([2, 3])
+        assert tracker.members == frozenset({2, 3})
+        assert tracker.internal_dispersion == pytest.approx(1.0)
+        assert len(tracker) == 2
+        assert 2 in tracker and 0 not in tracker

@@ -1,0 +1,105 @@
+"""Tests for the concrete metric families (Euclidean, cosine, discrete, random)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.metrics.cosine import CosineMetric
+from repro.metrics.discrete import DiscreteMetric, UniformRandomMetric, one_two_metric
+from repro.metrics.euclidean import EuclideanMetric
+from repro.metrics.validation import is_metric
+
+
+class TestEuclidean:
+    def test_basic_distance(self):
+        metric = EuclideanMetric(np.array([[0.0, 0.0], [3.0, 4.0], [0.0, 1.0]]))
+        assert metric.distance(0, 1) == pytest.approx(5.0)
+        assert metric.distance(0, 2) == pytest.approx(1.0)
+
+    def test_one_dimensional_input_promoted(self):
+        metric = EuclideanMetric(np.array([0.0, 2.0, 5.0]))
+        assert metric.dimension == 1
+        assert metric.distance(1, 2) == pytest.approx(3.0)
+
+    def test_is_a_metric(self):
+        rng = np.random.default_rng(0)
+        metric = EuclideanMetric(rng.normal(size=(8, 3)))
+        assert is_metric(metric)
+
+    def test_distances_from_matches_pairwise(self):
+        rng = np.random.default_rng(1)
+        metric = EuclideanMetric(rng.normal(size=(6, 2)))
+        bulk = metric.distances_from(2, range(6))
+        assert np.allclose(bulk, [metric.distance(2, v) for v in range(6)])
+
+    def test_rejects_3d_input(self):
+        with pytest.raises(InvalidParameterError):
+            EuclideanMetric(np.zeros((2, 2, 2)))
+
+
+class TestCosine:
+    def test_identical_vectors_distance_zero(self):
+        metric = CosineMetric(np.array([[1.0, 2.0], [2.0, 4.0]]))
+        assert metric.distance(0, 1) == pytest.approx(0.0, abs=1e-9)
+
+    def test_orthogonal_vectors(self):
+        metric = CosineMetric(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        assert metric.distance(0, 1) == pytest.approx(1.0)
+
+    def test_shift_makes_metric(self):
+        rng = np.random.default_rng(3)
+        features = rng.uniform(0.1, 1.0, size=(10, 5))
+        shifted = CosineMetric(features, shift=1.0)
+        assert is_metric(shifted)
+
+    def test_self_distance_zero_despite_shift(self):
+        metric = CosineMetric(np.array([[1.0, 0.0], [0.0, 1.0]]), shift=1.0)
+        assert metric.distance(0, 0) == 0.0
+
+    def test_rejects_zero_vector(self):
+        with pytest.raises(InvalidParameterError):
+            CosineMetric(np.array([[0.0, 0.0], [1.0, 1.0]]))
+
+    def test_distances_from_matches_pairwise(self):
+        rng = np.random.default_rng(4)
+        metric = CosineMetric(rng.uniform(0.1, 1.0, size=(7, 4)), shift=0.3)
+        bulk = metric.distances_from(3, range(7))
+        assert np.allclose(bulk, [metric.distance(3, v) for v in range(7)])
+
+
+class TestDiscrete:
+    def test_range_enforced(self):
+        bad = np.array([[0.0, 3.0], [3.0, 0.0]])
+        with pytest.raises(InvalidParameterError):
+            DiscreteMetric(bad, base=1.0)
+
+    def test_one_two_metric_from_graph(self):
+        adjacency = np.array([[0, 1, 0], [1, 0, 0], [0, 0, 0]])
+        metric = one_two_metric(adjacency)
+        assert metric.distance(0, 1) == 1.0
+        assert metric.distance(0, 2) == 2.0
+        assert is_metric(metric)
+
+    def test_one_two_metric_rejects_asymmetric(self):
+        with pytest.raises(InvalidParameterError):
+            one_two_metric(np.array([[0, 1], [0, 0]]))
+
+    def test_uniform_random_metric_is_metric(self):
+        metric = UniformRandomMetric(15, seed=5)
+        assert is_metric(metric)
+        off_diagonal = metric.to_matrix()[~np.eye(15, dtype=bool)]
+        assert off_diagonal.min() >= 1.0
+        assert off_diagonal.max() <= 2.0
+
+    def test_uniform_random_metric_reproducible(self):
+        a = UniformRandomMetric(10, seed=9).to_matrix()
+        b = UniformRandomMetric(10, seed=9).to_matrix()
+        assert np.allclose(a, b)
+
+    def test_uniform_random_metric_rejects_bad_range(self):
+        with pytest.raises(InvalidParameterError):
+            UniformRandomMetric(5, low=1.0, high=3.0)
+        with pytest.raises(InvalidParameterError):
+            UniformRandomMetric(5, low=0.0, high=0.0)

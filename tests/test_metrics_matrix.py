@@ -1,0 +1,127 @@
+"""Tests for DistanceMatrix and the Metric base helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError, MetricError
+from repro.metrics.matrix import DistanceMatrix, as_distance_matrix
+from repro.metrics.euclidean import EuclideanMetric
+
+
+class TestConstruction:
+    def test_valid_matrix(self, small_matrix):
+        assert small_matrix.n == 4
+        assert small_matrix.distance(0, 1) == 1.0
+        assert small_matrix.distance(1, 0) == 1.0
+
+    def test_rejects_non_square(self):
+        with pytest.raises(InvalidParameterError):
+            DistanceMatrix(np.zeros((2, 3)))
+
+    def test_rejects_asymmetric(self):
+        matrix = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(MetricError):
+            DistanceMatrix(matrix)
+
+    def test_rejects_negative(self):
+        matrix = np.array([[0.0, -1.0], [-1.0, 0.0]])
+        with pytest.raises(MetricError):
+            DistanceMatrix(matrix)
+
+    def test_rejects_nonzero_diagonal(self):
+        matrix = np.array([[1.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(MetricError):
+            DistanceMatrix(matrix)
+
+    def test_validate_triangle_flag(self):
+        bad = np.array(
+            [
+                [0.0, 1.0, 10.0],
+                [1.0, 0.0, 1.0],
+                [10.0, 1.0, 0.0],
+            ]
+        )
+        DistanceMatrix(bad)  # accepted without validation
+        with pytest.raises(MetricError):
+            DistanceMatrix(bad, validate_triangle=True)
+
+
+class TestBulkHelpers:
+    def test_distances_from(self, small_matrix):
+        row = small_matrix.distances_from(0, [1, 2, 3])
+        assert np.allclose(row, [1.0, 2.0, 1.5])
+
+    def test_distances_from_empty(self, small_matrix):
+        assert small_matrix.distances_from(0, []).shape == (0,)
+
+    def test_to_matrix_roundtrip(self, small_matrix):
+        rebuilt = DistanceMatrix(small_matrix.to_matrix())
+        assert rebuilt.distance(2, 3) == small_matrix.distance(2, 3)
+
+    def test_pairs_enumeration(self, small_matrix):
+        pairs = list(small_matrix.pairs())
+        assert len(pairs) == 6
+        assert (0, 1, 1.0) in pairs
+
+    def test_len(self, small_matrix):
+        assert len(small_matrix) == 4
+
+
+class TestMutation:
+    def test_set_distance_is_symmetric(self, small_matrix):
+        small_matrix.set_distance(0, 1, 1.7)
+        assert small_matrix.distance(0, 1) == 1.7
+        assert small_matrix.distance(1, 0) == 1.7
+
+    def test_set_distance_rejects_self(self, small_matrix):
+        with pytest.raises(InvalidParameterError):
+            small_matrix.set_distance(1, 1, 2.0)
+
+    def test_set_distance_rejects_negative(self, small_matrix):
+        with pytest.raises(MetricError):
+            small_matrix.set_distance(0, 1, -0.5)
+
+    def test_copy_is_independent(self, small_matrix):
+        clone = small_matrix.copy()
+        clone.set_distance(0, 1, 1.9)
+        assert small_matrix.distance(0, 1) == 1.0
+
+
+class TestConstructors:
+    def test_from_points_euclidean(self):
+        points = np.array([[0.0, 0.0], [3.0, 4.0]])
+        matrix = DistanceMatrix.from_points(points)
+        assert matrix.distance(0, 1) == pytest.approx(5.0)
+
+    def test_from_points_cosine(self):
+        points = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        matrix = DistanceMatrix.from_points(points, metric="cosine")
+        assert matrix.distance(0, 1) == pytest.approx(1.0)
+        assert matrix.distance(0, 2) == pytest.approx(0.0)
+
+    def test_from_points_rejects_zero_vector_for_cosine(self):
+        with pytest.raises(InvalidParameterError):
+            DistanceMatrix.from_points(np.array([[0.0, 0.0], [1.0, 1.0]]), metric="cosine")
+
+    def test_from_points_unknown_metric(self):
+        with pytest.raises(InvalidParameterError):
+            DistanceMatrix.from_points(np.eye(3), metric="manhattan")
+
+    def test_zeros(self):
+        assert DistanceMatrix.zeros(3).distance(0, 2) == 0.0
+
+    def test_restrict_reindexes(self, small_matrix):
+        sub = small_matrix.restrict([0, 2])
+        assert sub.n == 2
+        assert sub.distance(0, 1) == small_matrix.distance(0, 2)
+
+    def test_as_distance_matrix_converts_other_metrics(self):
+        euclid = EuclideanMetric(np.array([[0.0], [1.0], [3.0]]))
+        converted = as_distance_matrix(euclid)
+        assert isinstance(converted, DistanceMatrix)
+        assert converted.distance(0, 2) == pytest.approx(3.0)
+
+    def test_as_distance_matrix_identity(self, small_matrix):
+        assert as_distance_matrix(small_matrix) is small_matrix

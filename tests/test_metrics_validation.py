@@ -1,0 +1,79 @@
+"""Tests for metric validation and the relaxed triangle inequality utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MetricError, TriangleInequalityError
+from repro.metrics.discrete import UniformRandomMetric
+from repro.metrics.matrix import DistanceMatrix
+from repro.metrics.relaxed import relaxation_parameter, satisfies_relaxed_triangle
+from repro.metrics.validation import (
+    check_metric,
+    is_metric,
+    sampled_triangle_check,
+    triangle_violations,
+)
+
+
+def _bad_matrix() -> DistanceMatrix:
+    return DistanceMatrix(
+        np.array(
+            [
+                [0.0, 1.0, 5.0],
+                [1.0, 0.0, 1.0],
+                [5.0, 1.0, 0.0],
+            ]
+        )
+    )
+
+
+class TestValidation:
+    def test_good_metric_passes(self, small_matrix):
+        assert is_metric(small_matrix)
+        check_metric(small_matrix)  # must not raise
+
+    def test_triangle_violation_detected(self):
+        violations = triangle_violations(_bad_matrix())
+        assert violations
+        x, y, z, gap = violations[0]
+        assert gap > 0
+        assert len({x, y, z}) == 3
+
+    def test_check_metric_raises_on_violation(self):
+        with pytest.raises(TriangleInequalityError):
+            check_metric(_bad_matrix())
+
+    def test_is_metric_false_on_violation(self):
+        assert not is_metric(_bad_matrix())
+
+    def test_random_metric_validates(self):
+        assert is_metric(UniformRandomMetric(20, seed=1))
+
+    def test_sampled_check_detects_gross_violation(self):
+        assert not sampled_triangle_check(_bad_matrix(), samples=200, seed=0)
+
+    def test_sampled_check_passes_good_metric(self):
+        assert sampled_triangle_check(UniformRandomMetric(15, seed=2), samples=200, seed=0)
+
+    def test_tiny_instances_are_trivially_metrics(self):
+        assert is_metric(DistanceMatrix(np.zeros((1, 1))))
+        assert sampled_triangle_check(DistanceMatrix(np.zeros((2, 2))))
+
+
+class TestRelaxedTriangle:
+    def test_true_metric_has_alpha_at_least_one(self, small_matrix):
+        assert relaxation_parameter(small_matrix) >= 1.0
+
+    def test_violating_matrix_has_alpha_below_one(self):
+        alpha = relaxation_parameter(_bad_matrix())
+        assert alpha == pytest.approx(2.0 / 5.0)
+
+    def test_satisfies_relaxed_triangle(self):
+        bad = _bad_matrix()
+        assert satisfies_relaxed_triangle(bad, 0.4)
+        assert not satisfies_relaxed_triangle(bad, 0.8)
+
+    def test_small_instances_vacuous(self):
+        assert relaxation_parameter(DistanceMatrix(np.zeros((2, 2)))) == float("inf")

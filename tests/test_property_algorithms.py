@@ -1,0 +1,136 @@
+"""Property-based tests of the paper's approximation guarantees.
+
+These generate random instances and check the theorems' inequalities hold for
+the implemented algorithms against the exact optimum:
+
+* Theorem 1 — Greedy B is a 2-approximation under a cardinality constraint.
+* Corollary 1 — the dispersion special case.
+* Theorem 2 — local search is a 2-approximation under a matroid constraint.
+* Corollary 4 — one oblivious update after a perturbation keeps ratio ≤ 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exact import exact_diversify
+from repro.core.greedy import greedy_diversify
+from repro.core.local_search import local_search_diversify
+from repro.core.objective import Objective
+from repro.dynamic.engine import DynamicDiversifier
+from repro.dynamic.perturbation import (
+    DistanceDecrease,
+    DistanceIncrease,
+    WeightIncrease,
+)
+from repro.functions.coverage import CoverageFunction
+from repro.functions.modular import ModularFunction
+from repro.matroids.partition import PartitionMatroid
+from repro.matroids.uniform import UniformMatroid
+from repro.metrics.discrete import UniformRandomMetric
+
+seeds = st.integers(min_value=0, max_value=10_000)
+sizes = st.integers(min_value=4, max_value=9)
+tradeoffs = st.sampled_from([0.0, 0.1, 0.2, 0.5, 1.0, 2.0])
+
+
+def _random_modular_objective(n: int, seed: int, tradeoff: float) -> Objective:
+    rng = np.random.default_rng(seed)
+    weights = ModularFunction(rng.uniform(0, 1, size=n))
+    metric = UniformRandomMetric(n, seed=seed + 1)
+    return Objective(weights, metric, tradeoff)
+
+
+def _random_submodular_objective(n: int, seed: int, tradeoff: float) -> Objective:
+    coverage = CoverageFunction.random(n, num_topics=max(3, n // 2), seed=seed)
+    metric = UniformRandomMetric(n, seed=seed + 1)
+    return Objective(coverage, metric, tradeoff)
+
+
+class TestTheorem1:
+    @given(n=sizes, seed=seeds, tradeoff=tradeoffs)
+    @settings(max_examples=30, deadline=None)
+    def test_greedy_modular_two_approx(self, n, seed, tradeoff):
+        objective = _random_modular_objective(n, seed, tradeoff)
+        p = max(2, n // 2)
+        greedy = greedy_diversify(objective, p)
+        optimum = exact_diversify(objective, p, method="enumerate")
+        assert greedy.objective_value >= optimum.objective_value / 2 - 1e-9
+
+    @given(n=sizes, seed=seeds, tradeoff=tradeoffs)
+    @settings(max_examples=20, deadline=None)
+    def test_greedy_submodular_two_approx(self, n, seed, tradeoff):
+        objective = _random_submodular_objective(n, seed, tradeoff)
+        p = max(2, n // 2)
+        greedy = greedy_diversify(objective, p)
+        optimum = exact_diversify(objective, p, method="enumerate")
+        assert greedy.objective_value >= optimum.objective_value / 2 - 1e-9
+
+    @given(n=sizes, seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_greedy_monotone_in_p(self, n, seed):
+        """Adding more slots can only improve the greedy value (monotone φ)."""
+        objective = _random_modular_objective(n, seed, 0.2)
+        values = [
+            greedy_diversify(objective, p).objective_value for p in range(1, n + 1)
+        ]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    @given(n=sizes, seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_exact_branch_and_bound_agrees_with_enumeration(self, n, seed):
+        objective = _random_modular_objective(n, seed, 0.3)
+        p = max(2, n // 2)
+        bnb = exact_diversify(objective, p, method="branch_and_bound")
+        enum = exact_diversify(objective, p, method="enumerate")
+        assert bnb.objective_value == pytest.approx(enum.objective_value)
+
+
+class TestTheorem2:
+    @given(n=sizes, seed=seeds, tradeoff=tradeoffs)
+    @settings(max_examples=20, deadline=None)
+    def test_local_search_uniform_two_approx(self, n, seed, tradeoff):
+        objective = _random_modular_objective(n, seed, tradeoff)
+        p = max(2, n // 2)
+        local = local_search_diversify(objective, UniformMatroid(n, p))
+        optimum = exact_diversify(objective, p, method="enumerate")
+        assert local.objective_value >= optimum.objective_value / 2 - 1e-9
+
+    @given(n=sizes, seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_local_search_partition_two_approx(self, n, seed):
+        objective = _random_submodular_objective(n, seed, 0.3)
+        blocks = [i % 3 for i in range(n)]
+        matroid = PartitionMatroid(blocks, {0: 1, 1: 1, 2: 1})
+        local = local_search_diversify(objective, matroid)
+        optimum = exact_diversify(objective, matroid=matroid)
+        assert local.objective_value >= optimum.objective_value / 2 - 1e-9
+
+
+class TestCorollary4:
+    @given(n=st.integers(min_value=6, max_value=9), seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_single_update_keeps_ratio_three(self, n, seed):
+        rng = np.random.default_rng(seed)
+        weights = rng.uniform(0, 1, size=n)
+        metric = UniformRandomMetric(n, seed=seed + 1)
+        engine = DynamicDiversifier(weights, metric.to_matrix(), p=3, tradeoff=0.2)
+        # One random Type I / III / IV perturbation (Type II needs the
+        # magnitude restriction, covered by the unit tests).
+        choice = rng.integers(0, 3)
+        if choice == 0:
+            engine.apply(WeightIncrease(int(rng.integers(0, n)), float(rng.uniform(0.1, 1))), updates=1)
+        else:
+            u, v = map(int, rng.choice(n, size=2, replace=False))
+            current = engine.distance(u, v)
+            target = float(rng.uniform(1.0, 2.0))
+            if abs(target - current) < 1e-9:
+                return
+            if target > current:
+                engine.apply(DistanceIncrease(u, v, target - current), updates=1)
+            else:
+                engine.apply(DistanceDecrease(u, v, current - target), updates=1)
+        assert engine.approximation_ratio() <= 3.0 + 1e-9

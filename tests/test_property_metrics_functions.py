@@ -1,0 +1,165 @@
+"""Property-based tests (hypothesis) for the metric and set-function substrates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.functions.coverage import CoverageFunction
+from repro.functions.facility_location import FacilityLocationFunction
+from repro.functions.modular import ModularFunction
+from repro.functions.saturated import SaturatedCoverageFunction
+from repro.metrics.aggregates import (
+    MarginalDistanceTracker,
+    marginal_distance,
+    set_distance,
+)
+from repro.metrics.discrete import UniformRandomMetric
+from repro.metrics.euclidean import EuclideanMetric
+from repro.metrics.matrix import DistanceMatrix
+from repro.metrics.validation import is_metric
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+sizes = st.integers(min_value=2, max_value=8)
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def _subset_strategy(n: int):
+    return st.sets(st.integers(min_value=0, max_value=n - 1), max_size=n)
+
+
+# ----------------------------------------------------------------------
+# Metric properties
+# ----------------------------------------------------------------------
+class TestMetricProperties:
+    @given(n=sizes, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_uniform_random_metric_always_metric(self, n, seed):
+        assert is_metric(UniformRandomMetric(n, seed=seed))
+
+    @given(n=sizes, seed=seeds, dim=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=25, deadline=None)
+    def test_euclidean_always_metric(self, n, seed, dim):
+        rng = np.random.default_rng(seed)
+        assert is_metric(EuclideanMetric(rng.normal(size=(n, dim))))
+
+    @given(n=sizes, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_tracker_matches_brute_force(self, n, seed):
+        metric = UniformRandomMetric(n, seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        members = list(rng.choice(n, size=rng.integers(0, n), replace=False))
+        tracker = MarginalDistanceTracker(metric, initial=members)
+        assert tracker.internal_dispersion == pytest.approx(set_distance(metric, members))
+        for u in range(n):
+            if u in members:
+                continue
+            assert tracker.marginal(u) == pytest.approx(
+                marginal_distance(metric, u, members)
+            )
+
+    @given(n=sizes, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_lemma1_ravi_inequality(self, n, seed):
+        """Lemma 1: (|X| - 1)·d(X, Y) ≥ |Y|·d(X) for disjoint X, Y in a metric."""
+        metric = UniformRandomMetric(n, seed=seed)
+        rng = np.random.default_rng(seed + 2)
+        elements = list(range(n))
+        rng.shuffle(elements)
+        split = rng.integers(1, n)
+        x_set, y_set = elements[:split], elements[split:]
+        if not x_set or not y_set:
+            return
+        from repro.metrics.aggregates import set_cross_distance
+
+        lhs = (len(x_set) - 1) * set_cross_distance(metric, x_set, y_set)
+        rhs = len(y_set) * set_distance(metric, x_set)
+        assert lhs >= rhs - 1e-9
+
+
+# ----------------------------------------------------------------------
+# Set-function properties
+# ----------------------------------------------------------------------
+def _check_submodular_monotone(function, n, rng):
+    for _ in range(10):
+        small = set(map(int, rng.choice(n, size=rng.integers(0, n), replace=False)))
+        extra = set(map(int, rng.choice(n, size=rng.integers(0, n), replace=False)))
+        large = small | extra
+        outside = [u for u in range(n) if u not in large]
+        if not outside:
+            continue
+        u = int(rng.choice(outside))
+        gain_small = function.marginal(u, small)
+        gain_large = function.marginal(u, large)
+        assert gain_small >= -1e-9  # monotone
+        assert gain_large <= gain_small + 1e-9  # submodular
+
+
+class TestFunctionProperties:
+    @given(n=sizes, seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_modular_marginals_constant(self, n, seed):
+        rng = np.random.default_rng(seed)
+        f = ModularFunction(rng.uniform(0, 1, size=n))
+        _check_submodular_monotone(f, n, rng)
+
+    @given(n=sizes, seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_coverage_submodular_monotone(self, n, seed):
+        rng = np.random.default_rng(seed)
+        f = CoverageFunction.random(n, num_topics=5, topics_per_element=2, seed=seed)
+        _check_submodular_monotone(f, n, rng)
+
+    @given(n=sizes, seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_facility_location_submodular_monotone(self, n, seed):
+        rng = np.random.default_rng(seed)
+        f = FacilityLocationFunction(rng.uniform(0, 1, size=(n, n)))
+        _check_submodular_monotone(f, n, rng)
+
+    @given(n=sizes, seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_saturated_coverage_submodular_monotone(self, n, seed):
+        rng = np.random.default_rng(seed)
+        features = rng.uniform(0.1, 1.0, size=(n, 3))
+        f = SaturatedCoverageFunction.from_features(features, saturation=0.4)
+        _check_submodular_monotone(f, n, rng)
+
+    @given(n=sizes, seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_value_equals_sum_of_marginals_along_any_order(self, n, seed):
+        """f(S) = Σ_i f_{u_i}({u_1..u_{i-1}}) — the telescoping identity."""
+        rng = np.random.default_rng(seed)
+        f = CoverageFunction.random(n, num_topics=6, seed=seed)
+        order = list(rng.permutation(n))
+        prefix: set = set()
+        total = 0.0
+        for u in order:
+            total += f.marginal(int(u), prefix)
+            prefix.add(int(u))
+        assert total == pytest.approx(f.value(prefix))
+
+
+# ----------------------------------------------------------------------
+# Dispersion super-modularity (the reason Nemhauser et al. doesn't apply)
+# ----------------------------------------------------------------------
+class TestDispersionSupermodularity:
+    @given(n=sizes, seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_distance_marginals_increase_with_set(self, n, seed):
+        metric = UniformRandomMetric(n, seed=seed)
+        rng = np.random.default_rng(seed + 3)
+        small = set(map(int, rng.choice(n, size=rng.integers(0, n), replace=False)))
+        extra = set(map(int, rng.choice(n, size=rng.integers(0, n), replace=False)))
+        large = small | extra
+        outside = [u for u in range(n) if u not in large]
+        if not outside:
+            return
+        u = int(rng.choice(outside))
+        assert marginal_distance(metric, u, large) >= marginal_distance(
+            metric, u, small
+        ) - 1e-9

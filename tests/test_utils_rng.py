@@ -1,0 +1,56 @@
+"""Tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_seed, make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42).uniform(size=5)
+        b = make_rng(42).uniform(size=5)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).uniform(size=5)
+        b = make_rng(2).uniform(size=5)
+        assert not np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(7)
+        assert make_rng(generator) is generator
+
+    def test_none_seed_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 4)) == 4
+
+    def test_streams_are_independent_and_reproducible(self):
+        first = [rng.uniform() for rng in spawn_rngs(5, 3)]
+        second = [rng.uniform() for rng in spawn_rngs(5, 3)]
+        assert first == second
+        assert len(set(first)) == 3
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(10, 3) == derive_seed(10, 3)
+
+    def test_streams_differ(self):
+        assert derive_seed(10, 0) != derive_seed(10, 1)
+
+    def test_none_passthrough(self):
+        assert derive_seed(None, 2) is None

@@ -1,0 +1,98 @@
+"""Tests for repro.utils.validation and repro.utils.timing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.utils.timing import Stopwatch, timed
+from repro.utils.validation import (
+    check_cardinality,
+    check_elements,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_tradeoff,
+)
+
+
+class TestScalarChecks:
+    def test_non_negative_accepts_zero(self):
+        assert check_non_negative("x", 0.0) == 0.0
+
+    def test_non_negative_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            check_non_negative("x", -0.1)
+
+    def test_positive_rejects_zero(self):
+        with pytest.raises(InvalidParameterError):
+            check_positive("x", 0.0)
+
+    def test_probability_bounds(self):
+        assert check_probability("x", 1.0) == 1.0
+        with pytest.raises(InvalidParameterError):
+            check_probability("x", 1.5)
+
+    def test_tradeoff_rejects_nan_and_inf(self):
+        with pytest.raises(InvalidParameterError):
+            check_tradeoff("lam", float("nan"))
+        with pytest.raises(InvalidParameterError):
+            check_tradeoff("lam", float("inf"))
+        with pytest.raises(InvalidParameterError):
+            check_tradeoff("lam", -1.0)
+        assert check_tradeoff("lam", 0.2) == 0.2
+
+
+class TestCardinality:
+    def test_valid(self):
+        assert check_cardinality(3, 10) == 3
+
+    def test_zero_allowed(self):
+        assert check_cardinality(0, 10) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            check_cardinality(-1, 10)
+
+    def test_rejects_too_large(self):
+        with pytest.raises(InvalidParameterError):
+            check_cardinality(11, 10)
+
+    def test_rejects_bool(self):
+        with pytest.raises(InvalidParameterError):
+            check_cardinality(True, 10)
+
+
+class TestElements:
+    def test_normalizes_to_set(self):
+        assert check_elements([1, 2, 2, 3], 5) == {1, 2, 3}
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            check_elements([0, 5], 5)
+        with pytest.raises(InvalidParameterError):
+            check_elements([-1], 5)
+
+
+class TestTiming:
+    def test_stopwatch_accumulates(self):
+        watch = Stopwatch()
+        with watch.measure():
+            sum(range(100))
+        first = watch.elapsed_seconds
+        with watch.measure():
+            sum(range(100))
+        assert watch.elapsed_seconds >= first
+        assert watch.elapsed_ms == pytest.approx(watch.elapsed_seconds * 1000)
+
+    def test_stopwatch_reset(self):
+        watch = Stopwatch()
+        with watch.measure():
+            pass
+        watch.reset()
+        assert watch.elapsed_seconds == 0.0
+
+    def test_timed_returns_value_and_duration(self):
+        value, seconds = timed(lambda: 41 + 1)
+        assert value == 42
+        assert seconds >= 0.0

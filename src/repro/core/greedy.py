@@ -30,6 +30,7 @@ import numpy as np
 from typing import Iterable, List, Optional, Set
 
 from repro._types import Element
+from repro.core import kernels
 from repro.core.objective import Objective
 from repro.core.result import SolverResult, build_result
 from repro.exceptions import InvalidParameterError
@@ -39,6 +40,12 @@ from repro.utils.validation import check_cardinality
 def _best_pair(objective: Objective, candidates: Iterable[Element]) -> tuple:
     """Return the candidate pair maximizing ``f({x,y}) + λ·d(x,y)``."""
     pool = list(candidates)
+    fast = kernels.matrix_fast_path(objective)
+    if fast is not None and len(pool) >= 2:
+        weights, matrix = fast
+        move = kernels.pair_argmax(weights, matrix, objective.tradeoff, pool)
+        assert move is not None
+        return move[0], move[1]
     best = None
     best_value = -float("inf")
     for i, x in enumerate(pool):
@@ -124,21 +131,22 @@ def greedy_diversify(
     # Fast path for modular quality: the potential of every candidate is
     # ``scale·w(u) + λ·d_u(S)`` with the distance marginals maintained by the
     # tracker, so each iteration is one vectorized argmax over the pool
-    # (the O(np) total running time discussed after Theorem 1).
-    weights = None
+    # (the O(np) total running time discussed after Theorem 1).  The marginals
+    # are read through the tracker's copy-free view and non-candidates carry a
+    # -inf penalty, so no O(n) allocation happens inside the loop.
+    scaled_weights = None
     if objective.quality.is_modular:
-        weights = np.array(
-            [objective.quality.marginal(u, frozenset()) for u in range(objective.n)],
-            dtype=float,
-        )
         quality_scale = 1.0 if oblivious else 0.5
-        candidate_mask = np.zeros(objective.n, dtype=bool)
-        candidate_mask[list(remaining)] = True
+        scaled_weights = quality_scale * kernels.modular_weights(objective.quality)
+        penalty = np.full(objective.n, -np.inf)
+        penalty[list(remaining)] = 0.0
+        scores = np.empty(objective.n, dtype=float)
 
     while len(selected) < p and remaining:
-        if weights is not None:
-            scores = quality_scale * weights + objective.tradeoff * tracker.marginals()
-            scores[~candidate_mask] = -np.inf
+        if scaled_weights is not None:
+            np.multiply(tracker.marginals_view(), objective.tradeoff, out=scores)
+            scores += scaled_weights
+            scores += penalty
             best_element = int(np.argmax(scores))
         else:
             best_element = None
@@ -156,8 +164,8 @@ def greedy_diversify(
         order.append(best_element)
         tracker.add(best_element)
         remaining.discard(best_element)
-        if weights is not None:
-            candidate_mask[best_element] = False
+        if scaled_weights is not None:
+            penalty[best_element] = -np.inf
         iterations += 1
 
     elapsed = time.perf_counter() - started

@@ -1,0 +1,242 @@
+"""Vectorized distance kernels — the matrix-backed fast path.
+
+The algorithms in :mod:`repro.core` are written twice:
+
+* a **reference path** of per-pair Python loops that only needs the
+  ``distance(u, v)`` oracle (correct for any :class:`~repro.metrics.base.Metric`
+  and any quality function), and
+* a **kernel path** that replaces each hot loop by one NumPy array operation
+  when the metric exposes :meth:`~repro.metrics.base.Metric.matrix_view` and
+  the quality function is modular.
+
+This module holds the kernel path.  Everything here operates on plain arrays
+(the weight vector ``w``, the distance matrix ``D``, the marginal vector
+``margins`` with ``margins[u] = d_u(S)``) so the same kernels serve Greedy B's
+pair seeding, the local-search best-swap scan, the streaming arrival rule and
+the dynamic-update engine.  The key identities (paper Sections 4–6):
+
+* pair score       ``w(x) + w(y) + λ·d(x, y)``
+* swap gain        ``φ(S − v + u) − φ(S)
+                     = (w(u) − w(v)) + λ·((d_u(S) − d(u, v)) − d_v(S))``
+
+Each scan is a masked argmax over the corresponding score matrix, turning the
+O(n·p) inner Python loop per local-search iteration into a handful of BLAS
+level array operations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._types import Element
+from repro.functions.base import SetFunction
+from repro.matroids.base import Matroid
+
+__all__ = [
+    "modular_weights",
+    "matrix_fast_path",
+    "solution_split",
+    "set_margins",
+    "pair_argmax",
+    "swap_gain_matrix",
+    "best_swap_scan",
+    "arrival_swap_gains",
+    "swap_kernel_supported",
+]
+
+
+def modular_weights(quality: SetFunction) -> Optional[np.ndarray]:
+    """Return the weight vector of a modular quality function, else ``None``.
+
+    For a modular ``f``, ``f(S) = Σ_{u ∈ S} w(u)`` with
+    ``w(u) = f({u})``; the kernels consume ``w`` directly instead of calling
+    the value oracle per element per scan.  Families exposing a
+    ``weights_view`` accessor (:class:`~repro.functions.modular.ModularFunction`,
+    :class:`~repro.functions.modular.ZeroFunction`) return it in O(1);
+    other modular functions (e.g. modular mixtures) pay one oracle sweep per
+    call, so per-arrival hot paths should cache the result.
+    """
+    if not quality.is_modular:
+        return None
+    view = getattr(quality, "weights_view", None)
+    if view is not None:
+        return view()
+    return np.fromiter(
+        (quality.marginal(u, frozenset()) for u in range(quality.n)),
+        dtype=float,
+        count=quality.n,
+    )
+
+
+def matrix_fast_path(objective) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Return ``(weights, matrix)`` when the kernel preconditions hold.
+
+    The kernel path needs a matrix-backed metric *and* modular quality;
+    otherwise ``None`` is returned and callers use their reference loops.
+    Both arrays are shared storage — treat them as read-only.
+    """
+    matrix = objective.metric.matrix_view()
+    if matrix is None:
+        return None
+    weights = modular_weights(objective.quality)
+    if weights is None:
+        return None
+    return weights, matrix
+
+
+def solution_split(n: int, solution: Iterable[Element]) -> Tuple[np.ndarray, np.ndarray]:
+    """Split the universe into sorted ``(inside, outside)`` index arrays.
+
+    ``inside`` are the members of ``solution`` and ``outside`` everything
+    else; both ascending, which fixes the deterministic tie-breaking order of
+    the swap scans.
+    """
+    inside = np.fromiter(sorted(solution), dtype=int)
+    outside_mask = np.ones(n, dtype=bool)
+    outside_mask[inside] = False
+    outside = np.nonzero(outside_mask)[0]
+    return inside, outside
+
+
+def set_margins(matrix: np.ndarray, members: Iterable[Element]) -> np.ndarray:
+    """Compute ``margins[u] = d_u(S)`` for every ``u`` with one column sum."""
+    idx = np.fromiter(members, dtype=int)
+    if idx.size == 0:
+        return np.zeros(matrix.shape[0], dtype=float)
+    return matrix[:, idx].sum(axis=1)
+
+
+def pair_argmax(
+    weights: np.ndarray,
+    matrix: np.ndarray,
+    tradeoff: float,
+    pool: Sequence[Element],
+    *,
+    mask: Optional[np.ndarray] = None,
+) -> Optional[Tuple[Element, Element, float]]:
+    """Best pair ``{x, y}`` by ``w(x) + w(y) + λ·d(x, y)`` over ``pool``.
+
+    Only the upper triangle in *pool order* is scanned, so ties resolve to the
+    pair the reference double loop would have picked.  ``mask``, when given,
+    is an additional boolean feasibility matrix aligned with ``pool`` (e.g. a
+    matroid's :meth:`~repro.matroids.base.Matroid.pair_feasibility_mask`
+    restricted to the pool).  Returns ``None`` when no admissible pair exists.
+    """
+    idx = np.asarray(pool, dtype=int)
+    if idx.size < 2:
+        return None
+    scores = (
+        weights[idx][:, None]
+        + weights[idx][None, :]
+        + tradeoff * matrix[np.ix_(idx, idx)]
+    )
+    admissible = np.triu(np.ones((idx.size, idx.size), dtype=bool), k=1)
+    if mask is not None:
+        admissible &= mask
+    if not admissible.any():
+        return None
+    scores = np.where(admissible, scores, -np.inf)
+    flat = int(np.argmax(scores))
+    i, j = divmod(flat, idx.size)
+    return int(idx[i]), int(idx[j]), float(scores[i, j])
+
+
+def swap_gain_matrix(
+    weights: np.ndarray,
+    matrix: np.ndarray,
+    tradeoff: float,
+    margins: np.ndarray,
+    incoming: np.ndarray,
+    outgoing: np.ndarray,
+) -> np.ndarray:
+    """Gain matrix ``G[i, j] = φ(S − outgoing[j] + incoming[i]) − φ(S)``.
+
+    Uses the O(1)-per-entry identity
+    ``(w_in − w_out) + λ·((d_in(S) − D[in, out]) − d_out(S))`` with the
+    marginals ``d_·(S)`` supplied by the caller (a tracker view or
+    :func:`set_margins`).
+    """
+    cross = matrix[np.ix_(incoming, outgoing)]
+    distance_gain = (margins[incoming][:, None] - cross) - margins[outgoing][None, :]
+    quality_gain = weights[incoming][:, None] - weights[outgoing][None, :]
+    return quality_gain + tradeoff * distance_gain
+
+
+def best_swap_scan(
+    weights: np.ndarray,
+    matrix: np.ndarray,
+    tradeoff: float,
+    margins: np.ndarray,
+    incoming: np.ndarray,
+    outgoing: np.ndarray,
+    *,
+    feasible: Optional[np.ndarray] = None,
+    threshold: float = 0.0,
+    first_improvement: bool = False,
+) -> Optional[Tuple[Element, Element, float]]:
+    """One vectorized best-swap scan; ``None`` when no swap beats ``threshold``.
+
+    ``incoming`` are candidates outside ``S`` and ``outgoing`` members of
+    ``S``; ``feasible`` is an optional boolean matrix of allowed swaps (all
+    allowed when omitted).  A swap must *strictly* exceed ``threshold`` to be
+    returned, matching the reference loop's acceptance rule.  With
+    ``first_improvement`` the scan returns the first admissible improving swap
+    in row-major (incoming-then-outgoing) order instead of the best one.
+    """
+    if incoming.size == 0 or outgoing.size == 0:
+        return None
+    gains = swap_gain_matrix(weights, matrix, tradeoff, margins, incoming, outgoing)
+    if first_improvement:
+        improving = gains > threshold
+        if feasible is not None:
+            improving &= feasible
+        hits = np.argwhere(improving)
+        if hits.shape[0] == 0:
+            return None
+        i, j = hits[0]
+        return int(incoming[i]), int(outgoing[j]), float(gains[i, j])
+    if feasible is not None:
+        gains = np.where(feasible, gains, -np.inf)
+    flat = int(np.argmax(gains))
+    i, j = divmod(flat, outgoing.size)
+    best = float(gains[i, j])
+    if not best > threshold:
+        return None
+    return int(incoming[i]), int(outgoing[j]), best
+
+
+def arrival_swap_gains(
+    weights: np.ndarray,
+    matrix: np.ndarray,
+    tradeoff: float,
+    element: Element,
+    members: Sequence[Element],
+) -> np.ndarray:
+    """Streaming arrival rule: gains of swapping ``element`` for each member.
+
+    Computes ``φ(S − out + element) − φ(S)`` for every ``out`` in ``members``
+    from the O(p²) submatrix alone (no O(n) state), preserving the streaming
+    algorithm's O(p) memory footprint.
+    """
+    sel = np.asarray(members, dtype=int)
+    row = matrix[element, sel]
+    internal = matrix[np.ix_(sel, sel)].sum(axis=1)
+    d_new = row.sum()
+    return (weights[element] - weights[sel]) + tradeoff * ((d_new - row) - internal)
+
+
+def swap_kernel_supported(objective, matroid: Matroid) -> bool:
+    """Whether the best-swap scan can run vectorized for this pairing.
+
+    True when the metric is matrix-backed, the quality modular, and the
+    matroid family implements the closed-form
+    :meth:`~repro.matroids.base.Matroid.swap_feasibility` rule.
+    """
+    if matrix_fast_path(objective) is None:
+        return False
+    probe = matroid.swap_feasibility(
+        frozenset(), np.zeros(0, dtype=int), np.zeros(0, dtype=int)
+    )
+    return probe is not None

@@ -25,7 +25,10 @@ import time
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Set, Tuple
 
+import numpy as np
+
 from repro._types import Element
+from repro.core import kernels
 from repro.core.objective import Objective
 from repro.core.result import SolverResult, build_result
 from repro.exceptions import InfeasibleError, InvalidParameterError
@@ -81,12 +84,24 @@ def _initial_basis(objective: Objective, matroid: Matroid) -> Set[Element]:
             raise InfeasibleError("matroid has rank 1 but no independent singleton")
         return {best}
     best_pair: Optional[Tuple[Element, Element]] = None
-    best_value = -float("inf")
-    for x, y in restriction_feasible_pairs(matroid):
-        value = objective.pair_value(x, y)
-        if value > best_value:
-            best_value = value
-            best_pair = (x, y)
+    fast = kernels.matrix_fast_path(objective)
+    pair_mask = matroid.pair_feasibility_mask() if fast is not None else None
+    if fast is not None and pair_mask is not None:
+        # One masked matrix argmax over w[x] + w[y] + λ·D[x, y] instead of
+        # O(n²) pair_value calls.
+        weights, matrix = fast
+        move = kernels.pair_argmax(
+            weights, matrix, objective.tradeoff, range(matroid.n), mask=pair_mask
+        )
+        if move is not None:
+            best_pair = (move[0], move[1])
+    else:
+        best_value = -float("inf")
+        for x, y in restriction_feasible_pairs(matroid):
+            value = objective.pair_value(x, y)
+            if value > best_value:
+                best_value = value
+                best_pair = (x, y)
     if best_pair is None:
         raise InfeasibleError("no independent pair exists in the matroid")
     # Extend preferring high singleton quality so the starting basis is sensible.
@@ -96,6 +111,102 @@ def _initial_basis(objective: Objective, matroid: Matroid) -> Set[Element]:
         reverse=True,
     )
     return set(matroid.extend_to_basis(set(best_pair), preference=preference))
+
+
+def _scan_swaps_reference(
+    objective: Objective,
+    matroid: Matroid,
+    selected: Set[Element],
+    tracker,
+    threshold: float,
+    *,
+    weights: Optional[np.ndarray] = None,
+    first_improvement: bool = False,
+    out_of_time=None,
+) -> Optional[Tuple[Element, Element, float]]:
+    """One loop-based best-swap scan (the oracle fallback path).
+
+    The distance part of each swap gain is read from a
+    :class:`~repro.metrics.aggregates.MarginalDistanceTracker` in O(1):
+
+    ``φ(S − v + u) − φ(S) = [f(S − v + u) − f(S)] + λ·[(d_u(S) − d(u, v)) − d_v(S)]``
+
+    For modular quality the bracketed quality term is ``w(u) − w(v)``, making
+    every candidate swap O(1); for general submodular quality it costs two
+    value-oracle calls.  Returns ``(incoming, outgoing, gain)`` with
+    ``gain > threshold``, or ``None``.  ``weights`` may be passed by callers
+    that already hold the modular weight vector (it is recomputed otherwise).
+    """
+    quality = objective.quality
+    metric = objective.metric
+    lam = objective.tradeoff
+    if weights is None:
+        weights = kernels.modular_weights(quality)
+    best_move: Optional[Tuple[Element, Element]] = None
+    best_gain = threshold
+    stop_scan = False
+    for incoming in range(objective.n):
+        if incoming in selected:
+            continue
+        if out_of_time is not None and incoming % 64 == 0 and out_of_time():
+            break
+        distance_in = tracker.marginal(incoming)
+        for outgoing in matroid.swap_candidates(selected, incoming):
+            distance_gain = (
+                distance_in - metric.distance(incoming, outgoing)
+            ) - tracker.marginal(outgoing)
+            if weights is not None:
+                quality_gain = float(weights[incoming] - weights[outgoing])
+            else:
+                without = frozenset(selected - {outgoing})
+                quality_gain = quality.value(without | {incoming}) - quality.value(
+                    selected
+                )
+            gain = quality_gain + lam * distance_gain
+            if gain > best_gain:
+                best_gain = gain
+                best_move = (incoming, outgoing)
+                if first_improvement:
+                    stop_scan = True
+                    break
+        if stop_scan:
+            break
+    if best_move is None:
+        return None
+    return best_move[0], best_move[1], best_gain
+
+
+def _scan_swaps_vectorized(
+    objective: Objective,
+    matroid: Matroid,
+    selected: Set[Element],
+    tracker,
+    threshold: float,
+    weights: np.ndarray,
+    matrix: np.ndarray,
+    *,
+    first_improvement: bool = False,
+) -> Optional[Tuple[Element, Element, float]]:
+    """One kernel-based best-swap scan: a masked argmax over the gain matrix.
+
+    Builds the full (incoming × outgoing) gain matrix
+    ``(w[in] − w[out]) + λ·((d_in(S) − D[in, out]) − d_out(S))`` in one shot
+    from the tracker's marginal view, masked by the matroid's vectorized
+    feasibility rule.
+    """
+    inside, outside = kernels.solution_split(objective.n, selected)
+    feasible = matroid.swap_feasibility(selected, outside, inside)
+    return kernels.best_swap_scan(
+        weights,
+        matrix,
+        objective.tradeoff,
+        tracker.marginals_view(),
+        outside,
+        inside,
+        feasible=feasible,
+        threshold=threshold,
+        first_improvement=first_improvement,
+    )
 
 
 def _run_swaps(
@@ -108,25 +219,19 @@ def _run_swaps(
 ) -> int:
     """Perform improving swaps in place; return the number of swaps accepted.
 
-    The distance part of each swap gain is read from a
-    :class:`~repro.metrics.aggregates.MarginalDistanceTracker` in O(1):
-
-    ``φ(S − v + u) − φ(S) = [f(S − v + u) − f(S)] + λ·[(d_u(S) − d(u, v)) − d_v(S)]``
-
-    For modular quality the bracketed quality term is ``w(u) − w(v)``, making
-    every candidate swap O(1); for general submodular quality it costs two
-    value-oracle calls.
+    Each iteration runs one best-swap scan: the vectorized kernel scan when
+    the metric is matrix-backed, the quality modular and the matroid family
+    has a closed-form feasibility rule, and the loop-based reference scan
+    otherwise.  Both scans accept only swaps strictly better than the
+    ε-threshold of :class:`LocalSearchConfig`.
     """
     swaps = 0
-    quality = objective.quality
-    metric = objective.metric
-    lam = objective.tradeoff
     tracker = objective.make_tracker(selected)
     current_value = objective.value(selected)
 
-    modular_weights = None
-    if quality.is_modular:
-        modular_weights = [quality.marginal(u, frozenset()) for u in range(objective.n)]
+    fast = kernels.matrix_fast_path(objective)
+    use_kernel = fast is not None and kernels.swap_kernel_supported(objective, matroid)
+    reference_weights = None if use_kernel else kernels.modular_weights(objective.quality)
 
     def out_of_time() -> bool:
         return (
@@ -140,39 +245,32 @@ def _run_swaps(
         if out_of_time():
             break
         threshold = config.epsilon * abs(current_value) / max(objective.n, 1)
-        best_move: Optional[Tuple[Element, Element]] = None
-        best_gain = threshold
-        stop_scan = False
-        for incoming in range(objective.n):
-            if incoming in selected:
-                continue
-            if incoming % 64 == 0 and out_of_time():
-                stop_scan = True
-                break
-            distance_in = tracker.marginal(incoming)
-            for outgoing in matroid.swap_candidates(selected, incoming):
-                distance_gain = (
-                    distance_in - metric.distance(incoming, outgoing)
-                ) - tracker.marginal(outgoing)
-                if modular_weights is not None:
-                    quality_gain = modular_weights[incoming] - modular_weights[outgoing]
-                else:
-                    without = frozenset(selected - {outgoing})
-                    quality_gain = quality.value(without | {incoming}) - quality.value(
-                        selected
-                    )
-                gain = quality_gain + lam * distance_gain
-                if gain > best_gain:
-                    best_gain = gain
-                    best_move = (incoming, outgoing)
-                    if config.first_improvement:
-                        stop_scan = True
-                        break
-            if stop_scan:
-                break
-        if best_move is None:
+        if use_kernel:
+            weights, matrix = fast
+            move = _scan_swaps_vectorized(
+                objective,
+                matroid,
+                selected,
+                tracker,
+                threshold,
+                weights,
+                matrix,
+                first_improvement=config.first_improvement,
+            )
+        else:
+            move = _scan_swaps_reference(
+                objective,
+                matroid,
+                selected,
+                tracker,
+                threshold,
+                weights=reference_weights,
+                first_improvement=config.first_improvement,
+                out_of_time=out_of_time,
+            )
+        if move is None:
             break
-        incoming, outgoing = best_move
+        incoming, outgoing, best_gain = move
         selected.remove(outgoing)
         selected.add(incoming)
         tracker.swap(incoming, outgoing)

@@ -25,7 +25,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Tuple
 
+import numpy as np
+
 from repro._types import Element
+from repro.core import kernels
 from repro.core.objective import Objective
 from repro.core.result import SolverResult, build_result
 from repro.exceptions import InvalidParameterError
@@ -56,12 +59,18 @@ class StreamingDiversifier:
     _value: float = field(default=0.0, init=False, repr=False)
     _arrivals: int = field(default=0, init=False, repr=False)
     _swaps: int = field(default=0, init=False, repr=False)
+    _fast: Optional[tuple] = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.p < 1:
             raise InvalidParameterError("p must be at least 1")
         if self.improvement_margin < 0:
             raise InvalidParameterError("improvement_margin must be non-negative")
+        # Resolve the kernel fast path once, not per arrival: the weight and
+        # matrix views are live under in-place mutation, and re-deriving the
+        # weight vector of view-less modular families would cost O(n) oracle
+        # calls per arrival.
+        self._fast = kernels.matrix_fast_path(self.objective)
 
     # ------------------------------------------------------------------
     # State
@@ -107,11 +116,22 @@ class StreamingDiversifier:
         # Full: find the best single replacement for the arriving element.
         best_gain = self.improvement_margin * abs(self._value)
         best_outgoing: Optional[Element] = None
-        for outgoing in self._selected:
-            gain = self.objective.swap_gain(members, element, outgoing)
-            if gain > best_gain:
-                best_gain = gain
-                best_outgoing = outgoing
+        if self._fast is not None:
+            # All p candidate swaps in one O(p²) submatrix computation.
+            weights, matrix = self._fast
+            gains = kernels.arrival_swap_gains(
+                weights, matrix, self.objective.tradeoff, element, self._selected
+            )
+            best_idx = int(np.argmax(gains))
+            if gains[best_idx] > best_gain:
+                best_gain = float(gains[best_idx])
+                best_outgoing = self._selected[best_idx]
+        else:
+            for outgoing in self._selected:
+                gain = self.objective.swap_gain(members, element, outgoing)
+                if gain > best_gain:
+                    best_gain = gain
+                    best_outgoing = outgoing
         if best_outgoing is None:
             return False
         self._selected.remove(best_outgoing)

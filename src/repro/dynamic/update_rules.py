@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import FrozenSet, List, Optional, Set, Tuple
 
 from repro._types import Element
+from repro.core import kernels
 from repro.core.objective import Objective
 from repro.exceptions import InvalidParameterError
 
@@ -60,7 +61,19 @@ def best_swap(
 
     ``None`` is returned when no swap has a strictly positive gain, i.e. the
     solution is locally optimal for the single-swap neighbourhood.
+
+    When the instance is matrix-backed with modular quality (the dynamic
+    engine's representation), the scan is one vectorized gain-matrix argmax;
+    otherwise it falls back to O(n·p) ``swap_gain`` oracle calls.
     """
+    fast = kernels.matrix_fast_path(objective)
+    if fast is not None and solution:
+        weights, matrix = fast
+        inside, outside = kernels.solution_split(objective.n, solution)
+        margins = kernels.set_margins(matrix, inside)
+        return kernels.best_swap_scan(
+            weights, matrix, objective.tradeoff, margins, outside, inside
+        )
     best: Optional[Tuple[Element, Element, float]] = None
     for incoming in range(objective.n):
         if incoming in solution:

@@ -32,6 +32,8 @@ class ModularFunction(SetFunction):
         if np.any(array < 0):
             raise InvalidParameterError("weights must be non-negative")
         self._weights = array
+        self._weights_view = array.view()
+        self._weights_view.flags.writeable = False
 
     # ------------------------------------------------------------------
     # SetFunction interface
@@ -65,6 +67,14 @@ class ModularFunction(SetFunction):
         """The weight vector (a copy; use :meth:`set_weight` to mutate)."""
         return self._weights.copy()
 
+    def weights_view(self) -> np.ndarray:
+        """A read-only, copy-free view of the weight vector.
+
+        The view reflects later :meth:`set_weight` mutations, so the
+        vectorized kernels can hold onto it across dynamic updates.
+        """
+        return self._weights_view
+
     def weight(self, element: Element) -> float:
         """Return ``w(element)``."""
         return float(self._weights[element])
@@ -92,6 +102,8 @@ class ZeroFunction(SetFunction):
         if n < 0:
             raise InvalidParameterError("n must be non-negative")
         self._n = int(n)
+        self._weights_view = np.zeros(self._n)
+        self._weights_view.flags.writeable = False
 
     @property
     def n(self) -> int:
@@ -102,6 +114,10 @@ class ZeroFunction(SetFunction):
 
     def marginal(self, element: Element, subset: Iterable[Element]) -> float:
         return 0.0
+
+    def weights_view(self) -> np.ndarray:
+        """The (all-zero) weight vector as a read-only view."""
+        return self._weights_view
 
     @property
     def is_modular(self) -> bool:

@@ -18,6 +18,8 @@ from abc import ABC, abstractmethod
 from itertools import combinations
 from typing import FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
+import numpy as np
+
 from repro._types import Element
 from repro.exceptions import InfeasibleError, MatroidError, NotIndependentError
 
@@ -113,6 +115,35 @@ class Matroid(ABC):
         for outgoing in members:
             if self.is_independent((members - {outgoing}) | {incoming}):
                 yield outgoing
+
+    # ------------------------------------------------------------------
+    # Vectorized feasibility hooks (used by repro.core.kernels)
+    # ------------------------------------------------------------------
+    def swap_feasibility(
+        self,
+        basis: Iterable[Element],
+        incoming: np.ndarray,
+        outgoing: np.ndarray,
+    ) -> Optional[np.ndarray]:
+        """Vectorized counterpart of :meth:`swap_candidates`.
+
+        Returns a boolean array of shape ``(len(incoming), len(outgoing))``
+        whose ``(i, j)`` entry says whether ``basis - outgoing[j] +
+        incoming[i]`` is independent, or ``None`` when the family has no
+        closed-form rule (callers then fall back to the oracle loop).  All
+        ``incoming`` elements must lie outside ``basis`` and all ``outgoing``
+        elements inside it.
+        """
+        return None
+
+    def pair_feasibility_mask(self) -> Optional[np.ndarray]:
+        """Boolean ``n x n`` mask of independent pairs, or ``None``.
+
+        ``mask[x, y]`` says whether ``{x, y}`` (``x != y``) is independent.
+        Families without a closed-form rule return ``None`` and callers use
+        :func:`restriction_feasible_pairs` instead.
+        """
+        return None
 
     def bases(self, *, limit: Optional[int] = None) -> Iterator[FrozenSet[Element]]:
         """Enumerate bases (exponential; intended for small test instances)."""

@@ -13,6 +13,8 @@ from __future__ import annotations
 from collections import Counter
 from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence
 
+import numpy as np
+
 from repro._types import Element
 from repro.exceptions import InvalidParameterError
 from repro.matroids.base import Matroid
@@ -44,6 +46,14 @@ class PartitionMatroid(Matroid):
                 )
         self._capacities = caps
         self._block_sizes = Counter(self._block_of)
+        # Integer block codes + per-element capacities for the vectorized
+        # feasibility hooks (labels may be arbitrary hashables).
+        label_code = {label: code for code, label in enumerate(dict.fromkeys(self._block_of))}
+        self._num_blocks = len(label_code)
+        self._codes = np.array([label_code[label] for label in self._block_of], dtype=int)
+        self._element_capacity = np.array(
+            [self.capacity(label) for label in self._block_of], dtype=int
+        )
 
     # ------------------------------------------------------------------
     # Accessors
@@ -94,6 +104,29 @@ class PartitionMatroid(Matroid):
         for outgoing in members:
             if slack > 0 or self._block_of[outgoing] == incoming_block:
                 yield outgoing
+
+    def swap_feasibility(
+        self,
+        basis: Iterable[Element],
+        incoming: np.ndarray,
+        outgoing: np.ndarray,
+    ) -> np.ndarray:
+        members = list(basis)
+        if not members:
+            return np.ones((len(incoming), len(outgoing)), dtype=bool)
+        usage = np.bincount(self._codes[members], minlength=max(self._num_blocks, 1))
+        in_codes = self._codes[incoming]
+        slack = self._element_capacity[incoming] - usage[in_codes]
+        return (slack[:, None] > 0) | (self._codes[outgoing][None, :] == in_codes[:, None])
+
+    def pair_feasibility_mask(self) -> np.ndarray:
+        codes = self._codes
+        caps = self._element_capacity
+        same_block = codes[:, None] == codes[None, :]
+        admissible = caps >= 1
+        cross = admissible[:, None] & admissible[None, :] & ~same_block
+        within = same_block & (caps >= 2)[:, None]
+        return cross | within
 
     @classmethod
     def uniform_blocks(cls, sizes: Sequence[int], capacities: Sequence[int]

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Optional
 
+import numpy as np
+
 from repro._types import Element
 from repro.exceptions import InvalidParameterError
 from repro.matroids.base import Matroid
@@ -56,3 +58,16 @@ class TruncatedMatroid(Matroid):
         # A 1-for-1 swap never changes cardinality, so only the inner matroid
         # constrains which element may leave.
         yield from self._inner.swap_candidates(members, incoming)
+
+    def swap_feasibility(
+        self,
+        basis: Iterable[Element],
+        incoming: np.ndarray,
+        outgoing: np.ndarray,
+    ) -> Optional[np.ndarray]:
+        return self._inner.swap_feasibility(basis, incoming, outgoing)
+
+    def pair_feasibility_mask(self) -> Optional[np.ndarray]:
+        if self._p < 2:
+            return np.zeros((self.n, self.n), dtype=bool)
+        return self._inner.pair_feasibility_mask()

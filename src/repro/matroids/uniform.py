@@ -8,6 +8,8 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Optional
 
+import numpy as np
+
 from repro._types import Element
 from repro.exceptions import InvalidParameterError
 from repro.matroids.base import Matroid
@@ -52,6 +54,19 @@ class UniformMatroid(Matroid):
             return
         # Any member can leave: cardinality is preserved by a 1-for-1 swap.
         yield from members
+
+    def swap_feasibility(
+        self,
+        basis: Iterable[Element],
+        incoming: np.ndarray,
+        outgoing: np.ndarray,
+    ) -> np.ndarray:
+        # Every 1-for-1 swap preserves cardinality, hence independence.
+        return np.ones((len(incoming), len(outgoing)), dtype=bool)
+
+    def pair_feasibility_mask(self) -> np.ndarray:
+        feasible = self._p >= 2
+        return np.full((self._n, self._n), feasible, dtype=bool)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"UniformMatroid(n={self._n}, p={self._p})"

@@ -26,6 +26,14 @@ from repro.metrics.base import Metric
 def set_distance(metric: Metric, subset: Iterable[Element]) -> float:
     """Return ``d(S) = Σ_{ {u,v} ⊆ S } d(u, v)``."""
     elements = list(dict.fromkeys(subset))
+    if len(elements) < 2:
+        return 0.0
+    matrix = metric.matrix_view()
+    if matrix is not None:
+        idx = np.fromiter(elements, dtype=int)
+        # The diagonal is zero, so the full submatrix sum double-counts
+        # exactly the off-diagonal pairs.
+        return float(matrix[np.ix_(idx, idx)].sum() / 2.0)
     total = 0.0
     for i, u in enumerate(elements):
         for v in elements[i + 1 :]:
@@ -41,6 +49,13 @@ def set_cross_distance(
     second_elements = set(second)
     if second_elements & set(first_elements):
         raise InvalidParameterError("set_cross_distance requires disjoint sets")
+    if not first_elements or not second_elements:
+        return 0.0
+    matrix = metric.matrix_view()
+    if matrix is not None:
+        first_idx = np.fromiter(first_elements, dtype=int)
+        second_idx = np.fromiter(second_elements, dtype=int)
+        return float(matrix[np.ix_(first_idx, second_idx)].sum())
     total = 0.0
     for u in first_elements:
         for v in second_elements:
@@ -50,6 +65,14 @@ def set_cross_distance(
 
 def marginal_distance(metric: Metric, element: Element, subset: Iterable[Element]) -> float:
     """Return ``d_u(S) = Σ_{v ∈ S} d(u, v)`` (``u`` need not be outside S)."""
+    matrix = metric.matrix_view()
+    if matrix is not None:
+        # Iterate the raw subset (duplicates and all) so both tiers agree;
+        # d(u, u) == 0, so ``element`` itself contributes nothing.
+        idx = np.fromiter(subset, dtype=int)
+        if idx.size == 0:
+            return 0.0
+        return float(matrix[element, idx].sum())
     return float(sum(metric.distance(element, v) for v in subset if v != element))
 
 
@@ -80,6 +103,8 @@ class MarginalDistanceTracker:
     def __init__(self, metric: Metric, initial: Optional[Iterable[Element]] = None) -> None:
         self._metric = metric
         self._margins = np.zeros(metric.n, dtype=float)
+        self._margins_view = self._margins.view()
+        self._margins_view.flags.writeable = False
         self._members: Set[Element] = set()
         self._dispersion = 0.0
         if initial is not None:
@@ -107,6 +132,15 @@ class MarginalDistanceTracker:
         """The full vector of marginals (a copy)."""
         return self._margins.copy()
 
+    def marginals_view(self) -> np.ndarray:
+        """A read-only, copy-free view of the marginal vector.
+
+        The view reflects subsequent updates, which is exactly what the
+        per-iteration argmax in the greedy and swap kernels wants — no O(n)
+        allocation per selection step.
+        """
+        return self._margins_view
+
     def __contains__(self, element: Element) -> bool:
         return element in self._members
 
@@ -121,16 +155,14 @@ class MarginalDistanceTracker:
         if element in self._members:
             raise InvalidParameterError(f"element {element} is already in the set")
         self._dispersion += float(self._margins[element])
-        row = self._metric.distances_from(element, range(self._metric.n))
-        self._margins += row
+        self._margins += self._metric.row(element)
         self._members.add(element)
 
     def remove(self, element: Element) -> None:
         """Remove ``element`` from ``S``, updating all marginals in O(n)."""
         if element not in self._members:
             raise InvalidParameterError(f"element {element} is not in the set")
-        row = self._metric.distances_from(element, range(self._metric.n))
-        self._margins -= row
+        self._margins -= self._metric.row(element)
         self._members.remove(element)
         self._dispersion -= float(self._margins[element])
 

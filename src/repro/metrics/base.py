@@ -9,7 +9,7 @@ external index) can be plugged in.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable, Iterator, Tuple
+from typing import Iterable, Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -22,6 +22,15 @@ class Metric(ABC):
     Subclasses must implement :meth:`distance` and :attr:`n`.  The default
     implementations of the bulk helpers fall back to pairwise queries;
     matrix-backed metrics override them with vectorized versions.
+
+    The interface is two-tier:
+
+    * **Oracle metrics** only answer :meth:`distance` queries; algorithms use
+      their reference (loop-based) code paths.
+    * **Matrix-backed metrics** additionally expose :meth:`matrix_view` (the
+      full ``n x n`` array without a copy) and a cheap :meth:`row`, which the
+      vectorized kernels in :mod:`repro.core.kernels` use to replace per-pair
+      Python loops with NumPy array operations.
     """
 
     @property
@@ -39,6 +48,26 @@ class Metric(ABC):
     def distances_from(self, u: Element, targets: Iterable[Element]) -> np.ndarray:
         """Return the vector of distances from ``u`` to each target."""
         return np.array([self.distance(u, v) for v in targets], dtype=float)
+
+    def row(self, u: Element) -> np.ndarray:
+        """Return the full distance row ``(d(u, 0), ..., d(u, n-1))``.
+
+        Matrix-backed metrics return a *view* into their storage, so callers
+        must treat the result as read-only.  The default implementation falls
+        back to :meth:`distances_from` over the whole ground set.
+        """
+        return self.distances_from(u, range(self.n))
+
+    def matrix_view(self) -> Optional[np.ndarray]:
+        """Return the underlying ``n x n`` matrix without copying, or ``None``.
+
+        This is the fast-path hook of the two-tier protocol: when it returns
+        an array, the vectorized kernels in :mod:`repro.core.kernels` operate
+        directly on it (submatrix sums, masked argmax scans); when it returns
+        ``None`` the algorithms use their loop-based reference paths.  The
+        returned array is shared storage — callers must never mutate it.
+        """
+        return None
 
     def to_matrix(self) -> np.ndarray:
         """Materialize the full ``n x n`` distance matrix."""

@@ -69,6 +69,12 @@ class CosineMetric(Metric):
         distances[idx == u] = 0.0
         return distances
 
+    def row(self, u: Element) -> np.ndarray:
+        cos = np.clip(self._unit @ self._unit[u], -1.0, 1.0)
+        distances = np.maximum(1.0 - cos, 0.0) + self._shift
+        distances[u] = 0.0
+        return distances
+
     def to_matrix(self) -> np.ndarray:
         cos = np.clip(self._unit @ self._unit.T, -1.0, 1.0)
         matrix = np.maximum(1.0 - cos, 0.0) + self._shift

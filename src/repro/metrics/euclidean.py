@@ -58,6 +58,10 @@ class EuclideanMetric(Metric):
         diff = self._points[idx] - self._points[u]
         return np.sqrt(np.sum(diff * diff, axis=1))
 
+    def row(self, u: Element) -> np.ndarray:
+        diff = self._points - self._points[u]
+        return np.sqrt(np.sum(diff * diff, axis=1))
+
     def to_matrix(self) -> np.ndarray:
         diff = self._points[:, None, :] - self._points[None, :, :]
         matrix = np.sqrt(np.sum(diff * diff, axis=-1))

@@ -54,6 +54,10 @@ class DistanceMatrix(Metric):
         if not np.allclose(np.diag(array), 0.0, atol=1e-12):
             raise MetricError("self-distances d(u, u) must be zero")
         self._matrix = array
+        # Shared read-only view handed to the kernel layer: mutations must go
+        # through set_distance/array so the metric axioms stay enforceable.
+        self._matrix_view = array.view()
+        self._matrix_view.flags.writeable = False
         if validate_triangle:
             from repro.metrics.validation import check_metric
 
@@ -74,6 +78,12 @@ class DistanceMatrix(Metric):
         if idx.size == 0:
             return np.zeros(0, dtype=float)
         return self._matrix[u, idx]
+
+    def row(self, u: Element) -> np.ndarray:
+        return self._matrix_view[u]
+
+    def matrix_view(self) -> np.ndarray:
+        return self._matrix_view
 
     def to_matrix(self) -> np.ndarray:
         return self._matrix.copy()

@@ -29,6 +29,7 @@ Quick start
 from repro.core import (
     LocalSearchConfig,
     Objective,
+    Restriction,
     SolverResult,
     StreamingDiversifier,
     exact_dispersion,
@@ -43,6 +44,7 @@ from repro.core import (
     mmr_select,
     refine_with_local_search,
     solve,
+    solve_many,
     streaming_diversify,
 )
 from repro.data import (
@@ -99,9 +101,11 @@ __all__ = [
     "__version__",
     # core
     "Objective",
+    "Restriction",
     "SolverResult",
     "LocalSearchConfig",
     "solve",
+    "solve_many",
     "greedy_diversify",
     "greedy_dispersion",
     "gollapudi_sharma_greedy",

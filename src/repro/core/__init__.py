@@ -26,6 +26,14 @@ its experiments compare against:
   instances (used to compute the approximation factors of Tables 1, 3, 4, 8).
 * :func:`~repro.core.solver.solve` — a single entry point that validates
   inputs and dispatches to the appropriate algorithm.
+* :class:`~repro.core.restriction.Restriction` — first-class query-scoped
+  sub-universe views; every algorithm's ``candidates=`` argument routes
+  through it (index-remapped weight slices, submatrix metric views,
+  restricted matroids), so restricted solves run on the same vectorized
+  kernels as full-universe ones.
+* :func:`~repro.core.batch.solve_many` — the batched multi-query front end:
+  many candidate pools against one shared corpus with zero per-query O(n²)
+  work, optionally mapped over a thread pool for oracle-free instances.
 """
 
 from repro.core.baselines import (
@@ -33,6 +41,7 @@ from repro.core.baselines import (
     matching_diversify,
     reduced_metric,
 )
+from repro.core.batch import solve_many
 from repro.core.dispersion import greedy_dispersion
 from repro.core.exact import exact_dispersion, exact_diversify
 from repro.core.greedy import greedy_diversify
@@ -43,6 +52,7 @@ from repro.core.local_search import (
     refine_with_local_search,
 )
 from repro.core.mmr import mmr_select
+from repro.core.restriction import Restriction
 from repro.core.streaming import StreamingDiversifier, streaming_diversify
 from repro.core.objective import Objective
 from repro.core.result import SolverResult
@@ -50,6 +60,7 @@ from repro.core.solver import solve
 
 __all__ = [
     "Objective",
+    "Restriction",
     "SolverResult",
     "greedy_diversify",
     "greedy_dispersion",
@@ -67,4 +78,5 @@ __all__ = [
     "StreamingDiversifier",
     "streaming_diversify",
     "solve",
+    "solve_many",
 ]

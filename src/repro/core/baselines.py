@@ -106,19 +106,20 @@ def gollapudi_sharma_greedy(
     p:
         Target cardinality.
     candidates:
-        Optional candidate pool.
+        Optional candidate pool, routed through the restriction layer
+        (:meth:`~repro.core.objective.Objective.restrict`).
     improved:
         When ``True`` and ``p`` is odd, the final singleton vertex is chosen
         to maximize the true objective rather than arbitrarily (the
         "improved Greedy A" of Table 3).
     """
+    if candidates is not None:
+        restriction = objective.restrict(candidates)
+        result = gollapudi_sharma_greedy(restriction.objective, p, improved=improved)
+        return restriction.lift(result)
+
     started = time.perf_counter()
-    pool: List[Element] = (
-        list(range(objective.n)) if candidates is None else list(dict.fromkeys(candidates))
-    )
-    for element in pool:
-        if element < 0 or element >= objective.n:
-            raise InvalidParameterError(f"candidate {element} outside the universe")
+    pool: List[Element] = list(range(objective.n))
     p = min(p, len(pool))
     if p < 0:
         raise InvalidParameterError("p must be non-negative")
@@ -177,14 +178,17 @@ def matching_diversify(
     vertex when ``p`` is odd).  Achieves a (2 − 1/⌈p/2⌉)-approximation for
     modular quality.
 
-    Uses :mod:`networkx` for the maximum-weight matching.
+    Uses :mod:`networkx` for the maximum-weight matching.  A ``candidates``
+    pool is routed through the restriction layer.
     """
     import networkx as nx
 
+    if candidates is not None:
+        restriction = objective.restrict(candidates)
+        return restriction.lift(matching_diversify(restriction.objective, p))
+
     started = time.perf_counter()
-    pool: List[Element] = (
-        list(range(objective.n)) if candidates is None else list(dict.fromkeys(candidates))
-    )
+    pool: List[Element] = list(range(objective.n))
     p = min(p, len(pool))
     if p < 0:
         raise InvalidParameterError("p must be non-negative")

@@ -1,0 +1,149 @@
+"""Batched multi-query solving over one shared corpus.
+
+A production diversifier is query-scoped: many queries arrive against a single
+corpus, each carrying its own candidate pool, while the metric (and the
+quality weights) are shared.  :func:`solve_many` prepares the shared state
+exactly once —
+
+* the corpus distance matrix (materialized once for oracle metrics, reused as
+  a shared view for matrix-backed ones),
+* the modular weight vector (derived once even for view-less modular
+  families),
+
+— and then solves every query on an index-remapped sub-instance built by the
+restriction layer (:class:`~repro.core.restriction.Restriction`).  Per query
+the cost is the O(k²) candidate submatrix (a copy-free view for contiguous
+pools) plus the solve itself; no query ever pays an O(n²) copy.
+
+Because an oracle-free instance (matrix-backed metric + modular quality)
+touches only read-only shared state during a solve, the per-query map can
+optionally run on a thread pool (``max_workers``); NumPy releases the GIL in
+the submatrix reductions, so large pools see real parallelism.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro._types import Element
+from repro.core import kernels
+from repro.core.local_search import LocalSearchConfig
+from repro.core.objective import Objective
+from repro.core.restriction import Restriction
+from repro.core.result import SolverResult
+from repro.core.solver import ALGORITHMS, _dispatch
+from repro.exceptions import InvalidParameterError
+from repro.functions.base import SetFunction
+from repro.functions.modular import ModularFunction
+from repro.matroids.base import Matroid
+from repro.metrics.base import Metric
+from repro.metrics.matrix import as_distance_matrix
+
+__all__ = ["solve_many"]
+
+
+def solve_many(
+    quality: SetFunction,
+    metric: Metric,
+    queries: Sequence[Iterable[Element]],
+    *,
+    tradeoff: float,
+    p: Optional[int] = None,
+    matroid: Optional[Matroid] = None,
+    algorithm: str = "auto",
+    local_search_config: Optional[LocalSearchConfig] = None,
+    materialize: bool = True,
+    max_workers: Optional[int] = None,
+) -> List[SolverResult]:
+    """Solve one diversification instance per candidate pool on a shared corpus.
+
+    Parameters
+    ----------
+    quality, metric, tradeoff:
+        The shared corpus instance ``(f, d, λ)``.
+    queries:
+        One candidate pool per query (iterables of corpus element indices).
+        An empty pool yields an empty selection for that query.
+    p:
+        Cardinality constraint applied to every query (clamped to each pool's
+        size).  Mutually exclusive with ``matroid``.
+    matroid:
+        Corpus-level matroid constraint; it is restricted per pool via
+        :meth:`~repro.matroids.base.Matroid.restrict`.
+    algorithm:
+        One of :data:`~repro.core.solver.ALGORITHMS`, as in
+        :func:`~repro.core.solver.solve`.
+    local_search_config:
+        Forwarded to the local search.
+    materialize:
+        When ``True`` (default) an oracle metric is materialized into a
+        shared :class:`~repro.metrics.matrix.DistanceMatrix` once (O(n²),
+        amortized over all queries), so every query runs on the vectorized
+        kernel path.  Set to ``False`` for ground sets too large to
+        materialize; queries then restrict the oracle pairwise (O(k²) oracle
+        calls each) and solve on the loop paths.
+    max_workers:
+        Optional thread-pool size for the per-query map.  Only honored when
+        the shared instance is oracle-free (matrix-backed metric + modular
+        quality): those solves read only immutable shared state, and NumPy
+        releases the GIL inside the submatrix reductions.  Oracle-backed
+        instances run sequentially regardless, since arbitrary user oracles
+        make no thread-safety promises.
+
+    Returns
+    -------
+    list of SolverResult
+        One result per query, in query order, expressed in corpus indices;
+        each records its pool under ``metadata["candidates"]``.
+    """
+    if algorithm not in ALGORITHMS:
+        raise InvalidParameterError(
+            f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+        )
+    if (p is None) == (matroid is None):
+        raise InvalidParameterError("supply exactly one of p and matroid")
+    if max_workers is not None and max_workers < 1:
+        raise InvalidParameterError("max_workers must be at least 1")
+
+    # Shared corpus state, prepared once.
+    shared_metric = metric
+    if materialize and metric.matrix_view() is None:
+        shared_metric = as_distance_matrix(metric)
+    shared_quality = quality
+    if quality.is_modular and getattr(quality, "weights_view", None) is None:
+        # View-less modular families would pay one O(n) oracle sweep per
+        # query inside the kernels; hoist the sweep out of the loop.
+        weights = kernels.modular_weights(quality)
+        try:
+            shared_quality = ModularFunction(weights)
+        except InvalidParameterError:
+            shared_quality = quality
+    objective = Objective(shared_quality, shared_metric, tradeoff)
+    if matroid is not None and matroid.n != objective.n:
+        raise InvalidParameterError(
+            f"matroid covers {matroid.n} elements but the corpus covers "
+            f"{objective.n}"
+        )
+
+    def solve_one(pool: Iterable[Element]) -> SolverResult:
+        restriction = Restriction(objective, pool)
+        sub_matroid = (
+            matroid.restrict(restriction.candidates) if matroid is not None else None
+        )
+        result = _dispatch(
+            restriction.objective,
+            algorithm,
+            p=p,
+            matroid=sub_matroid,
+            local_search_config=local_search_config,
+        )
+        return restriction.lift(result)
+
+    pools = [tuple(query) for query in queries]
+    oracle_free = kernels.matrix_fast_path(objective) is not None
+    if max_workers is not None and max_workers > 1 and oracle_free and len(pools) > 1:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=max_workers) as executor:
+            return list(executor.map(solve_one, pools))
+    return [solve_one(pool) for pool in pools]

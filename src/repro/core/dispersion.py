@@ -41,18 +41,26 @@ def greedy_dispersion(
     p:
         Target cardinality.
     candidates:
-        Optional candidate pool (defaults to the full universe).
+        Optional candidate pool (defaults to the full universe), routed
+        through the restriction layer.
     batch_size:
         Number of vertices added per greedy step (1 = the Ravi et al.
         algorithm; larger values follow Birnbaum–Goldman).
     """
     if batch_size < 1:
         raise InvalidParameterError("batch_size must be at least 1")
+    if candidates is not None:
+        restriction = Objective(
+            ZeroFunction(metric.n), metric, tradeoff=1.0
+        ).restrict(candidates)
+        result = greedy_dispersion(
+            restriction.objective.metric, p, batch_size=batch_size
+        )
+        return restriction.lift(result)
+
     started = time.perf_counter()
     objective = Objective(ZeroFunction(metric.n), metric, tradeoff=1.0)
-    pool: List[Element] = (
-        list(range(metric.n)) if candidates is None else list(dict.fromkeys(candidates))
-    )
+    pool: List[Element] = list(range(metric.n))
     p = min(p, len(pool))
     if p < 0:
         raise InvalidParameterError("p must be non-negative")

@@ -92,7 +92,7 @@ def _branch_and_bound_cardinality(
     # Seed the incumbent with the greedy solution (cheap, usually excellent).
     from repro.core.greedy import greedy_diversify
 
-    seed = greedy_diversify(objective, p, candidates=pool)
+    seed = greedy_diversify(objective, p)
     best_value = seed.objective_value
     best_set = set(seed.selected)
 
@@ -170,16 +170,34 @@ def exact_diversify(
 
     Exactly one of ``p`` and ``matroid`` must be supplied.  ``method`` is one
     of ``"auto"``, ``"branch_and_bound"`` and ``"enumerate"``; matroid
-    constraints always use enumeration of bases.
+    constraints always use enumeration of bases.  A ``candidates`` pool is
+    routed through the restriction layer: the optimum of the induced
+    sub-instance is returned (under a matroid, bases of the *restricted*
+    matroid — the maximal independent sets inside the pool — are enumerated).
     """
     if (p is None) == (matroid is None):
         raise InvalidParameterError("supply exactly one of p and matroid")
     if method not in ("auto", "branch_and_bound", "enumerate"):
         raise InvalidParameterError(f"unknown exact method {method!r}")
+    if matroid is not None and matroid.n != objective.n:
+        raise InvalidParameterError("matroid and objective universes differ")
+    if candidates is not None:
+        restriction = objective.restrict(candidates)
+        sub_matroid = (
+            matroid.restrict(restriction.candidates) if matroid is not None else None
+        )
+        result = exact_diversify(
+            restriction.objective,
+            p,
+            matroid=sub_matroid,
+            method=method,
+            subset_limit=subset_limit,
+            node_limit=node_limit,
+        )
+        return restriction.lift(result)
+
     started = time.perf_counter()
-    pool: List[Element] = (
-        list(range(objective.n)) if candidates is None else list(dict.fromkeys(candidates))
-    )
+    pool: List[Element] = list(range(objective.n))
 
     if p is not None:
         p = min(p, len(pool))
@@ -199,21 +217,16 @@ def exact_diversify(
         metadata = {"p": p, "examined": examined, "method": "branch_and_bound" if use_bnb else "enumerate"}
     else:
         assert matroid is not None
-        if matroid.n != objective.n:
-            raise InvalidParameterError("matroid and objective universes differ")
         rank = matroid.rank()
         total = comb(len(pool), rank) if rank <= len(pool) else 0
         if total > subset_limit:
             raise SolverError(
                 f"brute force over {total} candidate bases exceeds the limit {subset_limit}"
             )
-        pool_set = set(pool)
         best_set = frozenset()
         best_value = objective.value(frozenset())
         examined = 0
         for basis in matroid.bases():
-            if not basis <= pool_set:
-                continue
             value = objective.value(basis)
             examined += 1
             if value > best_value:

@@ -78,7 +78,10 @@ def greedy_diversify(
         are clamped to the pool size).
     candidates:
         Optional subset of the universe to select from (defaults to all
-        elements).  Used by the LETOR experiments to restrict to the top-k
+        elements).  Routed through the restriction layer
+        (:meth:`~repro.core.objective.Objective.restrict`): the greedy runs
+        on the re-indexed sub-instance — kernels included — and the result is
+        lifted back.  Used by the LETOR experiments to restrict to the top-k
         documents of a query.
     start:
         ``"potential"`` (the paper's algorithm) or ``"best_pair"`` (the
@@ -93,14 +96,16 @@ def greedy_diversify(
     SolverResult
         The selected set, its objective decomposition and the insertion order.
     """
+    if candidates is not None:
+        restriction = objective.restrict(candidates)
+        result = greedy_diversify(
+            restriction.objective, p, start=start, oblivious=oblivious
+        )
+        return restriction.lift(result)
+
     started = time.perf_counter()
-    pool: List[Element] = (
-        list(range(objective.n)) if candidates is None else list(dict.fromkeys(candidates))
-    )
-    for element in pool:
-        if element < 0 or element >= objective.n:
-            raise InvalidParameterError(f"candidate {element} outside the universe")
-    p = check_cardinality(p, len(pool)) if p <= len(pool) else len(pool)
+    n = objective.n
+    p = check_cardinality(p, n) if p <= n else n
     if start not in ("potential", "best_pair"):
         raise InvalidParameterError(f"unknown start rule {start!r}")
 
@@ -111,7 +116,7 @@ def greedy_diversify(
     selected: Set[Element] = set()
     order: List[Element] = []
     tracker = objective.make_tracker()
-    remaining = set(pool)
+    remaining = set(range(n))
     iterations = 0
 
     def marginal_of(u: Element, members: frozenset) -> float:
@@ -119,8 +124,8 @@ def greedy_diversify(
             return objective.marginal(u, members, tracker=tracker)
         return objective.potential_marginal(u, members, tracker=tracker)
 
-    if start == "best_pair" and p >= 2 and len(pool) >= 2:
-        x, y = _best_pair(objective, pool)
+    if start == "best_pair" and p >= 2 and n >= 2:
+        x, y = _best_pair(objective, range(n))
         for element in (x, y):
             selected.add(element)
             order.append(element)
@@ -130,10 +135,12 @@ def greedy_diversify(
 
     # Fast path for modular quality: the potential of every candidate is
     # ``scale·w(u) + λ·d_u(S)`` with the distance marginals maintained by the
-    # tracker, so each iteration is one vectorized argmax over the pool
+    # tracker, so each iteration is one vectorized argmax over the universe
     # (the O(np) total running time discussed after Theorem 1).  The marginals
-    # are read through the tracker's copy-free view and non-candidates carry a
-    # -inf penalty, so no O(n) allocation happens inside the loop.
+    # are read through the tracker's copy-free view and already-selected
+    # elements carry a -inf penalty, so no O(n) allocation happens inside the
+    # loop.  (Candidate pools never reach this code: they are re-indexed into
+    # a dense sub-universe by the restriction layer above.)
     scaled_weights = None
     if objective.quality.is_modular:
         quality_scale = 1.0 if oblivious else 0.5

@@ -286,6 +286,7 @@ def local_search_diversify(
     *,
     config: Optional[LocalSearchConfig] = None,
     initial: Optional[Iterable[Element]] = None,
+    candidates: Optional[Iterable[Element]] = None,
 ) -> SolverResult:
     """Run the single-swap local search under a matroid constraint.
 
@@ -301,8 +302,30 @@ def local_search_diversify(
     initial:
         Optional independent set to start from instead of the paper's
         best-pair initialization.  It is extended to a basis first.
+    candidates:
+        Optional candidate pool, routed through the restriction layer: both
+        the objective and the matroid are restricted
+        (:meth:`~repro.matroids.base.Matroid.restrict`), the search runs on
+        the sub-instance, and the result is lifted back.  ``initial`` (when
+        given) must lie inside the pool.
     """
     config = config or LocalSearchConfig()
+    if matroid.n != objective.n:
+        raise InvalidParameterError(
+            f"matroid covers {matroid.n} elements but the objective covers "
+            f"{objective.n}"
+        )
+    if candidates is not None:
+        restriction = objective.restrict(candidates)
+        sub_initial = restriction.to_local(initial) if initial is not None else None
+        result = local_search_diversify(
+            restriction.objective,
+            matroid.restrict(restriction.candidates),
+            config=config,
+            initial=sub_initial,
+        )
+        return restriction.lift(result)
+
     started = time.perf_counter()
     if initial is None:
         selected = _initial_basis(objective, matroid)

@@ -47,16 +47,33 @@ def mmr_select(
         avoid clashing with the diversification trade-off).  1.0 is pure
         relevance, 0.0 is pure novelty.
     candidates:
-        Optional candidate pool.
+        Optional candidate pool, routed through the restriction layer
+        (:meth:`~repro.core.objective.Objective.restrict`); an explicit
+        ``similarity`` matrix is restricted alongside the instance.
     similarity:
         Optional explicit ``n x n`` similarity matrix overriding the
         metric-derived one.
     """
     check_probability("theta", theta)
+    if similarity is not None:
+        similarity = np.asarray(similarity, dtype=float)
+        if similarity.shape != (objective.n, objective.n):
+            raise InvalidParameterError(
+                "similarity matrix shape must match the universe size"
+            )
+    if candidates is not None:
+        restriction = objective.restrict(candidates)
+        sub_similarity = None
+        if similarity is not None:
+            idx = np.asarray(restriction.candidates, dtype=int)
+            sub_similarity = similarity[np.ix_(idx, idx)]
+        result = mmr_select(
+            restriction.objective, p, theta=theta, similarity=sub_similarity
+        )
+        return restriction.lift(result)
+
     started = time.perf_counter()
-    pool: List[Element] = (
-        list(range(objective.n)) if candidates is None else list(dict.fromkeys(candidates))
-    )
+    pool: List[Element] = list(range(objective.n))
     p = min(p, len(pool))
     if p < 0:
         raise InvalidParameterError("p must be non-negative")
@@ -65,12 +82,6 @@ def mmr_select(
         matrix = objective.metric.to_matrix()
         top = float(matrix.max()) if matrix.size else 0.0
         similarity = top - matrix
-    else:
-        similarity = np.asarray(similarity, dtype=float)
-        if similarity.shape != (objective.n, objective.n):
-            raise InvalidParameterError(
-                "similarity matrix shape must match the universe size"
-            )
 
     relevance = np.array(
         [objective.quality.marginal(u, frozenset()) for u in range(objective.n)],

@@ -151,6 +151,21 @@ class Objective:
         return self.value(swapped) - self.value(members)
 
     # ------------------------------------------------------------------
+    # Restriction (sub-universe views)
+    # ------------------------------------------------------------------
+    def restrict(self, candidates: Iterable[Element]) -> "Restriction":
+        """Build the query-scoped sub-instance on ``candidates``.
+
+        Returns a :class:`~repro.core.restriction.Restriction` bundling the
+        re-indexed objective (weight slice + submatrix view, same λ) with the
+        index maps and result lifting every algorithm's ``candidates=`` path
+        routes through.
+        """
+        from repro.core.restriction import Restriction
+
+        return Restriction(self, candidates)
+
+    # ------------------------------------------------------------------
     # Helpers for algorithms
     # ------------------------------------------------------------------
     def make_tracker(

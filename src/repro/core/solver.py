@@ -8,7 +8,7 @@ appropriate algorithm and returns a :class:`~repro.core.result.SolverResult`.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Union
+from typing import Iterable, Optional
 
 from repro._types import Element
 from repro.core.baselines import gollapudi_sharma_greedy, matching_diversify
@@ -64,7 +64,15 @@ def solve(
         cardinality constraint and local search for a matroid constraint —
         the two algorithms the paper proves 2-approximations for.
     candidates:
-        Optional candidate pool restriction (cardinality constraint only).
+        Optional candidate pool restriction (the query-scoped sub-universe).
+        Honored by **every** algorithm, including ``local_search`` and the
+        matroid-constrained path: the instance (and the matroid, when one is
+        given) is restricted through
+        :class:`~repro.core.restriction.Restriction` /
+        :meth:`~repro.matroids.base.Matroid.restrict`, the algorithm runs on
+        the re-indexed sub-instance, and the result is lifted back into the
+        original universe's indices (the pool is recorded under
+        ``result.metadata["candidates"]``).
     local_search_config:
         Configuration forwarded to the local search.
 
@@ -80,12 +88,45 @@ def solve(
         raise InvalidParameterError("supply exactly one of p and matroid")
 
     objective = Objective(quality, metric, tradeoff)
+    if matroid is not None and matroid.n != objective.n:
+        raise InvalidParameterError(
+            f"matroid covers {matroid.n} elements but the objective covers "
+            f"{objective.n}"
+        )
 
+    if candidates is not None:
+        restriction = objective.restrict(candidates)
+        sub_matroid = (
+            matroid.restrict(restriction.candidates) if matroid is not None else None
+        )
+        result = _dispatch(
+            restriction.objective,
+            algorithm,
+            p=p,
+            matroid=sub_matroid,
+            local_search_config=local_search_config,
+        )
+        return restriction.lift(result)
+    return _dispatch(
+        objective, algorithm, p=p, matroid=matroid, local_search_config=local_search_config
+    )
+
+
+def _dispatch(
+    objective: Objective,
+    algorithm: str,
+    *,
+    p: Optional[int],
+    matroid: Optional[Matroid],
+    local_search_config: Optional[LocalSearchConfig],
+) -> SolverResult:
+    """Run ``algorithm`` on an (already restricted) objective.
+
+    This is the single dispatch point shared by :func:`solve` and the batched
+    :func:`repro.core.batch.solve_many` front end; candidate pools never reach
+    it — they are re-indexed away by the restriction layer in the callers.
+    """
     if matroid is not None:
-        if candidates is not None:
-            raise InvalidParameterError(
-                "candidate restriction is only supported with a cardinality constraint"
-            )
         if algorithm in ("auto", "local_search"):
             return local_search_diversify(
                 objective, matroid, config=local_search_config
@@ -99,20 +140,21 @@ def solve(
 
     assert p is not None
     if algorithm == "auto" or algorithm == "greedy":
-        return greedy_diversify(objective, p, candidates=candidates)
+        return greedy_diversify(objective, p)
     if algorithm == "greedy_best_pair":
-        return greedy_diversify(objective, p, candidates=candidates, start="best_pair")
+        return greedy_diversify(objective, p, start="best_pair")
     if algorithm == "greedy_a":
-        return gollapudi_sharma_greedy(objective, p, candidates=candidates)
+        return gollapudi_sharma_greedy(objective, p)
     if algorithm == "greedy_a_improved":
-        return gollapudi_sharma_greedy(objective, p, candidates=candidates, improved=True)
+        return gollapudi_sharma_greedy(objective, p, improved=True)
     if algorithm == "matching":
-        return matching_diversify(objective, p, candidates=candidates)
+        return matching_diversify(objective, p)
     if algorithm == "mmr":
-        return mmr_select(objective, p, candidates=candidates)
+        return mmr_select(objective, p)
     if algorithm == "local_search":
-        matroid = UniformMatroid(objective.n, p)
-        return local_search_diversify(objective, matroid, config=local_search_config)
+        return local_search_diversify(
+            objective, UniformMatroid(objective.n, p), config=local_search_config
+        )
     if algorithm == "exact":
-        return exact_diversify(objective, p, candidates=candidates)
+        return exact_diversify(objective, p)
     raise SolverError(f"unhandled algorithm {algorithm!r}")  # pragma: no cover

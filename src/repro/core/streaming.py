@@ -169,6 +169,7 @@ def streaming_diversify(
     arrival_order: Optional[Iterable[Element]] = None,
     *,
     improvement_margin: float = 0.0,
+    candidates: Optional[Iterable[Element]] = None,
 ) -> SolverResult:
     """One-shot convenience wrapper: stream the universe through a StreamingDiversifier.
 
@@ -179,10 +180,28 @@ def streaming_diversify(
     p:
         Maximum solution size.
     arrival_order:
-        The order in which elements arrive (defaults to index order).
+        The order in which elements arrive (defaults to index order; with a
+        candidate pool, to the pool's order).
     improvement_margin:
         Forwarded to :class:`StreamingDiversifier`.
+    candidates:
+        Optional candidate pool, routed through the restriction layer: the
+        stream runs over the re-indexed sub-instance and the result is lifted
+        back.  Every arrival must belong to the pool.
     """
+    if candidates is not None:
+        restriction = objective.restrict(candidates)
+        sub_order = (
+            None if arrival_order is None else restriction.to_local(arrival_order)
+        )
+        result = streaming_diversify(
+            restriction.objective,
+            p,
+            sub_order,
+            improvement_margin=improvement_margin,
+        )
+        return restriction.lift(result)
+
     started = time.perf_counter()
     order: Tuple[Element, ...] = (
         tuple(range(objective.n)) if arrival_order is None else tuple(arrival_order)

@@ -70,8 +70,11 @@ class DynamicDiversifier:
         initial_solution: Optional[Iterable[Element]] = None,
         validate_metric: bool = False,
     ) -> None:
-        self._weights = ModularFunction(np.asarray(list(np.atleast_1d(weights)), dtype=float)
-                                        if not isinstance(weights, np.ndarray) else weights)
+        # One coercion path for both inputs.  The engine owns independent
+        # copies: ModularFunction and DistanceMatrix both copy their input
+        # array, so later external mutation of `weights`/`distances` cannot
+        # leak into engine state (and engine perturbations cannot leak out).
+        self._weights = ModularFunction(np.asarray(weights, dtype=float))
         if isinstance(distances, DistanceMatrix):
             self._distances = distances.copy()
         else:

@@ -16,8 +16,8 @@ weight decrease.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro._types import Element
 from repro.core import kernels
@@ -34,14 +34,23 @@ class UpdateOutcome:
     solution:
         The solution after the update(s).
     swaps:
-        List of performed swaps ``(incoming, outgoing, gain)`` in order.
+        The performed moves ``(incoming, outgoing, gain)`` in order, where
+        ``gain`` is always the *true* objective change of that move.  For the
+        single-swap rules ``incoming``/``outgoing`` are elements; for a
+        simultaneous k-swap (:func:`k_swap_update` with ``k > 1``) they are
+        tuples of elements and the entry records the gain of the whole move —
+        a simultaneous swap has no well-defined per-pair gains.
     objective_value:
         ``φ`` of the final solution.
+    metadata:
+        Rule-specific extras (e.g. the labelled pairwise decomposition of a
+        k-swap move).
     """
 
     solution: FrozenSet[Element]
-    swaps: Tuple[Tuple[Element, Element, float], ...]
+    swaps: Tuple[Tuple[Any, Any, float], ...]
     objective_value: float
+    metadata: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def num_swaps(self) -> int:
@@ -55,7 +64,10 @@ class UpdateOutcome:
 
 
 def best_swap(
-    objective: Objective, solution: Set[Element]
+    objective: Objective,
+    solution: Set[Element],
+    *,
+    candidates: Optional[Iterable[Element]] = None,
 ) -> Optional[Tuple[Element, Element, float]]:
     """Return the best single swap ``(incoming, outgoing, gain)`` or ``None``.
 
@@ -65,7 +77,21 @@ def best_swap(
     When the instance is matrix-backed with modular quality (the dynamic
     engine's representation), the scan is one vectorized gain-matrix argmax;
     otherwise it falls back to O(n·p) ``swap_gain`` oracle calls.
+
+    ``candidates`` restricts the incoming elements to a query-scoped pool
+    (through the restriction layer, so the vectorized scan runs on the
+    re-indexed sub-instance); the current ``solution`` must lie inside the
+    pool.
     """
+    if candidates is not None:
+        restriction = objective.restrict(candidates)
+        local_solution = set(restriction.to_local(solution))
+        move = best_swap(restriction.objective, local_solution)
+        if move is None:
+            return None
+        incoming, outgoing, gain = move
+        pool = restriction.candidates
+        return pool[incoming], pool[outgoing], gain
     fast = kernels.matrix_fast_path(objective)
     if fast is not None and solution:
         weights, matrix = fast
@@ -85,10 +111,19 @@ def best_swap(
     return best
 
 
-def oblivious_update(objective: Objective, solution: Set[Element]) -> UpdateOutcome:
-    """Apply the oblivious single-swap update rule exactly once."""
+def oblivious_update(
+    objective: Objective,
+    solution: Set[Element],
+    *,
+    candidates: Optional[Iterable[Element]] = None,
+) -> UpdateOutcome:
+    """Apply the oblivious single-swap update rule exactly once.
+
+    ``candidates`` restricts the incoming elements to a pool (see
+    :func:`best_swap`).
+    """
     current = set(solution)
-    move = best_swap(objective, current)
+    move = best_swap(objective, current, candidates=candidates)
     swaps: List[Tuple[Element, Element, float]] = []
     if move is not None:
         incoming, outgoing, gain = move
@@ -107,10 +142,34 @@ def update_until_stable(
     solution: Set[Element],
     *,
     max_updates: Optional[int] = None,
+    candidates: Optional[Iterable[Element]] = None,
 ) -> UpdateOutcome:
-    """Apply the oblivious rule repeatedly until no swap improves (or a cap hits)."""
+    """Apply the oblivious rule repeatedly until no swap improves (or a cap hits).
+
+    ``candidates`` restricts the incoming elements to a pool (see
+    :func:`best_swap`).
+    """
     if max_updates is not None and max_updates < 0:
         raise InvalidParameterError("max_updates must be non-negative")
+    if candidates is not None:
+        # Build the restriction once for the whole stabilization run, not
+        # once per swap iteration (each build costs the O(k²) submatrix).
+        restriction = objective.restrict(candidates)
+        local = update_until_stable(
+            restriction.objective,
+            set(restriction.to_local(solution)),
+            max_updates=max_updates,
+        )
+        pool = restriction.candidates
+        return UpdateOutcome(
+            solution=frozenset(pool[e] for e in local.solution),
+            swaps=tuple(
+                (pool[incoming], pool[outgoing], gain)
+                for incoming, outgoing, gain in local.swaps
+            ),
+            objective_value=local.objective_value,
+            metadata=local.metadata,
+        )
     current = set(solution)
     swaps: List[Tuple[Element, Element, float]] = []
     while max_updates is None or len(swaps) < max_updates:
@@ -169,6 +228,12 @@ def k_swap_update(
     Tries swap sizes ``1 .. k`` and performs the single most improving one
     (sizes are not chained — this is one update, the analogue of the oblivious
     single-swap rule with a larger neighbourhood).
+
+    The outcome records the move with its **true total gain**
+    ``φ(S') − φ(S)``.  A move of size > 1 appears as a single
+    ``(incoming_tuple, outgoing_tuple, gain)`` entry; the arbitrary pairwise
+    alignment is kept only under ``metadata["pairwise_alignment"]`` and
+    carries no gains, because a simultaneous swap has no per-pair gains.
     """
     if k < 1:
         raise InvalidParameterError("k must be at least 1")
@@ -178,22 +243,33 @@ def k_swap_update(
         move = best_k_swap(objective, current, size)
         if move is not None and (best_move is None or move[2] > best_move[2]):
             best_move = move
-    swaps: List[Tuple[Element, Element, float]] = []
+    swaps: List[Tuple[Any, Any, float]] = []
+    metadata: Dict[str, Any] = {}
     if best_move is not None:
         incoming, outgoing, gain = best_move
         for element in outgoing:
             current.remove(element)
         for element in incoming:
             current.add(element)
-        # Record the move pairwise so the outcome shape matches the 1-swap rule.
-        per_pair_gain = gain / len(incoming)
-        swaps.extend(
-            (inc, out, per_pair_gain) for inc, out in zip(incoming, outgoing)
-        )
+        if len(incoming) == 1:
+            # A 1-swap is a genuine single swap; keep the 1-swap rule's shape.
+            swaps.append((incoming[0], outgoing[0], gain))
+        else:
+            # A simultaneous k-swap is ONE move with ONE true gain.  The
+            # element alignment below is an arbitrary zip, not a gain
+            # decomposition — per-pair gains are not defined for a
+            # simultaneous swap, so none are fabricated.
+            swaps.append((incoming, outgoing, gain))
+            metadata["pairwise_alignment"] = tuple(zip(incoming, outgoing))
+            metadata["pairwise_alignment_note"] = (
+                "arbitrary incoming/outgoing pairing of the simultaneous "
+                "k-swap; carries no per-pair gains"
+            )
     return UpdateOutcome(
         solution=frozenset(current),
         swaps=tuple(swaps),
         objective_value=objective.value(current),
+        metadata=metadata,
     )
 
 

@@ -19,7 +19,7 @@ import argparse
 import sys
 from typing import Callable, Dict
 
-from repro.experiments import dynamic_fig, tables
+from repro.experiments import dynamic_fig, multiquery as multiquery_module, tables
 from repro.experiments.appendix import appendix_bad_instance, run_appendix_comparison
 from repro.experiments.reporting import format_table
 
@@ -34,6 +34,7 @@ QUICK_OVERRIDES: Dict[str, dict] = {
     "table7": {"num_queries": 2, "docs_per_query": 80, "p_values": (5, 10, 20)},
     "table8": {"top_k": 25},
     "figure1": {"n": 10, "p": 4, "steps": 5, "repeats": 5},
+    "multiquery": {"n": 200, "num_queries": 4, "pool_size": 40, "p": 5},
 }
 
 
@@ -46,6 +47,11 @@ def _run_table(name: str, quick: bool) -> str:
 def _run_figure1(quick: bool) -> str:
     kwargs = QUICK_OVERRIDES["figure1"] if quick else {}
     return dynamic_fig.figure1(**kwargs).render()
+
+
+def _run_multiquery(quick: bool) -> str:
+    kwargs = QUICK_OVERRIDES["multiquery"] if quick else {}
+    return multiquery_module.multiquery(**kwargs).render()
 
 
 def _run_appendix(quick: bool) -> str:
@@ -61,7 +67,12 @@ def _run_appendix(quick: bool) -> str:
     )
 
 
-TARGETS = tuple(f"table{i}" for i in range(1, 9)) + ("figure1", "appendix", "all")
+TARGETS = tuple(f"table{i}" for i in range(1, 9)) + (
+    "figure1",
+    "appendix",
+    "multiquery",
+    "all",
+)
 
 
 def main(argv=None) -> int:
@@ -75,7 +86,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     targets = (
-        [f"table{i}" for i in range(1, 9)] + ["figure1", "appendix"]
+        [f"table{i}" for i in range(1, 9)] + ["figure1", "appendix", "multiquery"]
         if args.target == "all"
         else [args.target]
     )
@@ -84,6 +95,8 @@ def main(argv=None) -> int:
             print(_run_figure1(args.quick))
         elif target == "appendix":
             print(_run_appendix(args.quick))
+        elif target == "multiquery":
+            print(_run_multiquery(args.quick))
         else:
             print(_run_table(target, args.quick))
         print()

@@ -61,6 +61,22 @@ class SetFunction(ABC):
         return True
 
     # ------------------------------------------------------------------
+    # Restriction (sub-universe views)
+    # ------------------------------------------------------------------
+    def restrict(self, elements: Iterable[Element]) -> "SetFunction":
+        """Return ``f`` restricted to ``elements``, re-indexed from 0.
+
+        Local element ``i`` of the restriction is the ``i``-th entry of
+        ``elements`` (deduplicated, first-seen order).  The default wraps
+        this function in an index-mapping view that delegates every oracle
+        call; families with a direct representation override it (modular
+        functions slice their weight vector).
+        """
+        from repro.functions.restricted import RestrictedSetFunction
+
+        return RestrictedSetFunction(self, elements)
+
+    # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
     @staticmethod

@@ -15,6 +15,7 @@ import numpy as np
 from repro._types import Element
 from repro.exceptions import InvalidParameterError
 from repro.functions.base import SetFunction
+from repro.utils.validation import check_candidate_pool
 
 
 class ModularFunction(SetFunction):
@@ -89,6 +90,11 @@ class ModularFunction(SetFunction):
         """Return an independent copy (used by the dynamic engine)."""
         return ModularFunction(self._weights.copy())
 
+    def restrict(self, elements: Iterable[Element]) -> "ModularFunction":
+        """Restriction of a modular function is a weight-vector slice (O(k))."""
+        idx = check_candidate_pool(elements, self.n)
+        return ModularFunction(self._weights[idx])
+
 
 class ZeroFunction(SetFunction):
     """The identically-zero function.
@@ -122,3 +128,7 @@ class ZeroFunction(SetFunction):
     @property
     def is_modular(self) -> bool:
         return True
+
+    def restrict(self, elements: Iterable[Element]) -> "ZeroFunction":
+        """Restriction of the zero function is the zero function on the pool."""
+        return ZeroFunction(check_candidate_pool(elements, self.n).size)

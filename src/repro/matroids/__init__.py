@@ -14,6 +14,7 @@ from repro.matroids.exchange import exchange_bijection
 from repro.matroids.graphic import GraphicMatroid
 from repro.matroids.matching import hopcroft_karp, maximum_bipartite_matching
 from repro.matroids.partition import PartitionMatroid
+from repro.matroids.restriction import RestrictedMatroid
 from repro.matroids.transversal import TransversalMatroid
 from repro.matroids.truncation import TruncatedMatroid
 from repro.matroids.uniform import UniformMatroid
@@ -25,6 +26,7 @@ __all__ = [
     "TransversalMatroid",
     "GraphicMatroid",
     "TruncatedMatroid",
+    "RestrictedMatroid",
     "exchange_bijection",
     "hopcroft_karp",
     "maximum_bipartite_matching",

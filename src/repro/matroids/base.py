@@ -145,6 +145,20 @@ class Matroid(ABC):
         """
         return None
 
+    def restrict(self, elements: Iterable[Element]) -> "Matroid":
+        """Return this matroid restricted to ``elements``, re-indexed from 0.
+
+        Matroids are closed under restriction, so the result is again a
+        matroid; local element ``i`` is the ``i``-th entry of ``elements``
+        (deduplicated, first-seen order).  The default wraps the independence
+        oracle with an index mapping; families whose restriction has a direct
+        representation override it (uniform → uniform, partition → partition,
+        truncation → truncation of the restricted inner matroid).
+        """
+        from repro.matroids.restriction import RestrictedMatroid
+
+        return RestrictedMatroid(self, elements)
+
     def bases(self, *, limit: Optional[int] = None) -> Iterator[FrozenSet[Element]]:
         """Enumerate bases (exponential; intended for small test instances)."""
         r = self.rank()

@@ -18,6 +18,7 @@ import numpy as np
 from repro._types import Element
 from repro.exceptions import InvalidParameterError
 from repro.matroids.base import Matroid
+from repro.utils.validation import check_candidate_pool
 
 
 class PartitionMatroid(Matroid):
@@ -127,6 +128,13 @@ class PartitionMatroid(Matroid):
         cross = admissible[:, None] & admissible[None, :] & ~same_block
         within = same_block & (caps >= 2)[:, None]
         return cross | within
+
+    def restrict(self, elements: Iterable[Element]) -> "PartitionMatroid":
+        """Restriction keeps each element's block label and the block capacities."""
+        pool = check_candidate_pool(elements, self.n).tolist()
+        block_of = [self._block_of[e] for e in pool]
+        capacities = {label: self.capacity(label) for label in set(block_of)}
+        return PartitionMatroid(block_of, capacities)
 
     @classmethod
     def uniform_blocks(cls, sizes: Sequence[int], capacities: Sequence[int]

@@ -71,3 +71,7 @@ class TruncatedMatroid(Matroid):
         if self._p < 2:
             return np.zeros((self.n, self.n), dtype=bool)
         return self._inner.pair_feasibility_mask()
+
+    def restrict(self, elements: Iterable[Element]) -> "TruncatedMatroid":
+        """Restriction commutes with truncation: restrict the inner matroid, keep the cap."""
+        return TruncatedMatroid(self._inner.restrict(elements), self._p)

@@ -80,6 +80,28 @@ class Metric(ABC):
                 matrix[v, u] = d
         return matrix
 
+    def restrict(self, elements: Iterable[Element]) -> "Metric":
+        """Return the sub-metric induced by ``elements``, re-indexed from 0.
+
+        Local element ``i`` of the restricted metric is ``pool[i]`` in this
+        metric, where ``pool`` is ``elements`` deduplicated in first-seen
+        order.  The default implementation materializes the induced ``k×k``
+        submatrix through pairwise queries (O(k²) oracle calls, never O(n²));
+        matrix-backed metrics override it with slicing, which is copy-free
+        for uniform-stride pools.
+        """
+        from repro.metrics.matrix import DistanceMatrix
+        from repro.utils.validation import check_candidate_pool
+
+        pool = check_candidate_pool(elements, self.n).tolist()
+        size = len(pool)
+        matrix = np.zeros((size, size), dtype=float)
+        for i, u in enumerate(pool):
+            row = self.distances_from(u, pool[i + 1 :])
+            matrix[i, i + 1 :] = row
+            matrix[i + 1 :, i] = row
+        return DistanceMatrix(matrix, copy=False)
+
     def pairs(self) -> Iterator[Tuple[Element, Element, float]]:
         """Yield every unordered pair ``(u, v, d(u, v))`` with ``u < v``."""
         n = self.n

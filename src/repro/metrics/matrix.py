@@ -15,6 +15,7 @@ import numpy as np
 from repro._types import Element
 from repro.exceptions import InvalidParameterError, MetricError
 from repro.metrics.base import Metric
+from repro.utils.validation import check_candidate_pool
 
 
 class DistanceMatrix(Metric):
@@ -156,9 +157,55 @@ class DistanceMatrix(Metric):
         return cls(np.zeros((n, n)), copy=False)
 
     def restrict(self, elements: Iterable[Element]) -> "DistanceMatrix":
-        """Return the sub-matrix induced by the given elements (re-indexed)."""
-        idx = np.fromiter(elements, dtype=int)
-        return DistanceMatrix(self._matrix[np.ix_(idx, idx)], copy=True)
+        """Return the sub-matrix induced by the given elements (re-indexed).
+
+        A pool forming a uniform-stride range (any contiguous ``a..b``, or
+        every ``s``-th element of one) returns a **copy-free view** into this
+        matrix's storage: it costs O(1), reflects later mutations of the
+        parent, and is read-only.  Any other pool materializes an independent
+        ``k×k`` submatrix copy.  Both paths skip the constructor's axiom
+        checks — a principal submatrix of a valid metric is itself valid.
+        """
+        idx = check_candidate_pool(elements, self.n)
+        block = self._strided_block(idx)
+        if block is None:
+            block = self._matrix[np.ix_(idx, idx)]
+        return DistanceMatrix._from_trusted(block)
+
+    def _strided_block(self, idx: np.ndarray) -> Optional[np.ndarray]:
+        """A basic-slicing view covering ``idx``, or ``None`` if fancy indexing
+        (and hence a copy) is unavoidable."""
+        if idx.size == 0:
+            return self._matrix[:0, :0]
+        if idx.size == 1:
+            u = int(idx[0])
+            return self._matrix[u : u + 1, u : u + 1]
+        step = int(idx[1] - idx[0])
+        if step < 1:
+            return None
+        start, stop = int(idx[0]), int(idx[-1]) + 1
+        if not np.array_equal(idx, np.arange(start, stop, step)):
+            return None
+        return self._matrix[start:stop:step, start:stop:step]
+
+    @staticmethod
+    def _from_trusted(array: np.ndarray) -> "DistanceMatrix":
+        """Wrap an already-valid (sub)matrix without re-running axiom checks.
+
+        Used by :meth:`restrict`: re-validating a submatrix would cost the
+        O(k²) the restriction layer exists to avoid.  Views (shared storage)
+        are marked read-only so accidental mutation through the restriction
+        fails instead of corrupting the parent metric.
+        """
+        instance = object.__new__(DistanceMatrix)
+        if array.base is not None:
+            array = array.view()
+            array.flags.writeable = False
+        instance._matrix = array
+        view = array.view()
+        view.flags.writeable = False
+        instance._matrix_view = view
+        return instance
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"DistanceMatrix(n={self.n})"

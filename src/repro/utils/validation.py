@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Iterable, Set
 
+import numpy as np
+
 from repro.exceptions import InvalidParameterError
 
 
@@ -48,6 +50,21 @@ def check_cardinality(p: int, n: int) -> int:
             f"cardinality p={p} exceeds the universe size n={n}"
         )
     return p
+
+
+def check_candidate_pool(elements: Iterable[int], n: int) -> np.ndarray:
+    """Canonicalize a candidate pool against a universe of size ``n``.
+
+    Deduplicates in first-seen order and bounds-checks in one vectorized
+    pass.  Returns the canonical index array — the single dedupe/validation
+    rule every ``restrict`` implementation (metrics, functions, matroids,
+    :class:`~repro.core.restriction.Restriction`) shares.
+    """
+    idx = np.fromiter(dict.fromkeys(elements), dtype=int)
+    if idx.size and (idx.min() < 0 or idx.max() >= n):
+        bad = int(idx.min()) if idx.min() < 0 else int(idx.max())
+        raise InvalidParameterError(f"candidate {bad} outside the universe")
+    return idx
 
 
 def check_elements(subset: Iterable[int], n: int) -> Set[int]:

@@ -75,8 +75,41 @@ class TestValidation:
         with pytest.raises(InvalidParameterError):
             solve(instance.quality, instance.metric, tradeoff=0.2, p=3, matroid=matroid)
 
-    def test_matroid_with_candidates_rejected(self, instance):
-        matroid = PartitionMatroid([0] * 15, {0: 3})
+    def test_matroid_with_candidates_restricts_both(self, instance):
+        matroid = PartitionMatroid([i % 3 for i in range(15)], {0: 1, 1: 1, 2: 1})
+        candidates = [0, 1, 2, 3, 4, 5]
+        result = solve(
+            instance.quality,
+            instance.metric,
+            tradeoff=0.2,
+            matroid=matroid,
+            candidates=candidates,
+        )
+        assert result.selected <= set(candidates)
+        assert matroid.is_independent(result.selected)
+        assert result.metadata["candidates"] == tuple(candidates)
+
+    def test_local_search_honors_candidates(self, instance):
+        # Regression: this used to silently ignore the pool (the solver built
+        # a full-universe UniformMatroid and dropped `candidates`), returning
+        # elements outside [0..4].
+        candidates = [0, 1, 2, 3, 4]
+        result = solve(
+            instance.quality,
+            instance.metric,
+            tradeoff=0.2,
+            p=3,
+            algorithm="local_search",
+            candidates=candidates,
+        )
+        assert result.selected <= set(candidates)
+        assert result.size == 3
+
+    def test_matroid_universe_mismatch_rejected(self, instance):
+        # A pool that is valid for both universes must not mask the mismatch.
+        matroid = PartitionMatroid([0] * 20, {0: 3})
+        with pytest.raises(InvalidParameterError):
+            solve(instance.quality, instance.metric, tradeoff=0.2, matroid=matroid)
         with pytest.raises(InvalidParameterError):
             solve(
                 instance.quality,

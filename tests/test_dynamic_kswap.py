@@ -93,6 +93,40 @@ class TestKSwapUpdate:
         outcome = k_swap_update(objective, solution, k=2)
         assert outcome.solution == frozenset({2, 3})
         assert outcome.objective_value == pytest.approx(11.0)
+        # The move is recorded once, with its true total gain (11 − 10 = 1) —
+        # not fabricated per-pair halves.
+        assert len(outcome.swaps) == 1
+        incoming, outgoing, gain = outcome.swaps[0]
+        assert set(incoming) == {2, 3}
+        assert set(outgoing) == {0, 1}
+        assert gain == pytest.approx(1.0)
+        # The pairwise decomposition survives only as labelled metadata and
+        # carries no gains.
+        alignment = outcome.metadata["pairwise_alignment"]
+        assert {inc for inc, _ in alignment} == {2, 3}
+        assert {out for _, out in alignment} == {0, 1}
+        assert "no per-pair gains" in outcome.metadata["pairwise_alignment_note"]
+
+    def test_recorded_gain_is_true_objective_change(self):
+        for seed in range(5):
+            objective = _objective(seed=seed)
+            solution = {0, 1, 2, 3}
+            before = objective.value(solution)
+            outcome = k_swap_update(objective, solution, k=2)
+            total = sum(gain for _, _, gain in outcome.swaps)
+            assert outcome.objective_value - before == pytest.approx(total)
+
+    def test_single_swap_keeps_scalar_shape(self):
+        """A size-1 move (even via k=2) is recorded as a plain element pair."""
+        objective = _objective(seed=2)
+        outcome = k_swap_update(objective, {0, 1, 2}, k=1)
+        for incoming, outgoing, gain in outcome.swaps:
+            assert isinstance(incoming, int)
+            assert isinstance(outgoing, int)
+            assert gain == pytest.approx(
+                objective.value({0, 1, 2} - {outgoing} | {incoming})
+                - objective.value({0, 1, 2})
+            )
 
     def test_update_keeps_cardinality(self):
         objective = _objective(seed=5)

@@ -236,6 +236,126 @@ class TestDynamicDiversifier:
         with pytest.raises(InvalidParameterError):
             DynamicDiversifier(instance.weights, instance.distances, 6)
 
+    def test_external_mutation_does_not_leak_into_engine(self):
+        # Aliasing regression: the engine must own independent copies of both
+        # the weight vector and the distance matrix.
+        weights = np.array([1.0, 0.2, 0.3, 0.1])
+        distances = np.array(
+            [
+                [0.0, 1.0, 1.0, 1.0],
+                [1.0, 0.0, 1.5, 1.2],
+                [1.0, 1.5, 0.0, 1.9],
+                [1.0, 1.2, 1.9, 0.0],
+            ]
+        )
+        engine = DynamicDiversifier(weights, distances, 2, tradeoff=1.0)
+        weights[0] = 99.0
+        distances[0, 1] = 99.0
+        distances[1, 0] = 99.0
+        assert engine.weight(0) == pytest.approx(1.0)
+        assert engine.distance(0, 1) == pytest.approx(1.0)
+
+    def test_engine_mutation_does_not_leak_out(self):
+        weights = np.array([1.0, 0.2, 0.3, 0.1])
+        distances = np.array(
+            [
+                [0.0, 1.0, 1.0, 1.0],
+                [1.0, 0.0, 1.5, 1.2],
+                [1.0, 1.5, 0.0, 1.9],
+                [1.0, 1.2, 1.9, 0.0],
+            ]
+        )
+        engine = DynamicDiversifier(weights, distances, 2, tradeoff=1.0)
+        engine.apply(WeightIncrease(0, 0.5))
+        engine.apply(DistanceIncrease(0, 1, 0.05))
+        assert weights[0] == pytest.approx(1.0)
+        assert distances[0, 1] == pytest.approx(1.0)
+
+    def test_distance_matrix_input_is_copied(self):
+        from repro.metrics.matrix import DistanceMatrix as DM
+
+        matrix = DM(
+            np.array(
+                [
+                    [0.0, 1.0, 1.0],
+                    [1.0, 0.0, 1.5],
+                    [1.0, 1.5, 0.0],
+                ]
+            )
+        )
+        engine = DynamicDiversifier([1.0, 0.2, 0.3], matrix, 2, tradeoff=1.0)
+        matrix.set_distance(0, 1, 1.3)
+        assert engine.distance(0, 1) == pytest.approx(1.0)
+
+    def test_weights_accept_plain_lists_and_arrays(self):
+        distances = np.array([[0.0, 1.0], [1.0, 0.0]])
+        from_list = DynamicDiversifier([1.0, 0.5], distances, 1, tradeoff=1.0)
+        from_array = DynamicDiversifier(
+            np.array([1.0, 0.5]), distances, 1, tradeoff=1.0
+        )
+        assert from_list.weight(1) == from_array.weight(1) == pytest.approx(0.5)
+
+
+class TestUpdateRuleCandidates:
+    def _objective(self):
+        weights = ModularFunction([1.0, 0.2, 0.3, 0.1, 0.6])
+        metric = DistanceMatrix(
+            np.array(
+                [
+                    [0.0, 1.0, 1.0, 1.0, 1.1],
+                    [1.0, 0.0, 1.5, 1.2, 1.4],
+                    [1.0, 1.5, 0.0, 1.9, 1.0],
+                    [1.0, 1.2, 1.9, 0.0, 1.3],
+                    [1.1, 1.4, 1.0, 1.3, 0.0],
+                ]
+            )
+        )
+        return Objective(weights, metric, tradeoff=1.0)
+
+    def test_best_swap_respects_pool(self):
+        objective = self._objective()
+        solution = {0, 1}
+        move = best_swap(objective, solution, candidates=[0, 1, 4])
+        if move is not None:
+            incoming, outgoing, gain = move
+            assert incoming in {0, 1, 4}
+            assert gain == pytest.approx(
+                objective.value(solution - {outgoing} | {incoming})
+                - objective.value(solution)
+            )
+
+    def test_best_swap_pool_equals_restricted_instance(self):
+        objective = self._objective()
+        solution = {0, 1}
+        pool = [0, 1, 2, 4]
+        restricted = objective.restrict(pool)
+        local_move = best_swap(
+            restricted.objective, set(restricted.to_local(solution))
+        )
+        pooled_move = best_swap(objective, solution, candidates=pool)
+        if local_move is None:
+            assert pooled_move is None
+        else:
+            lifted = (
+                pool[local_move[0]],
+                pool[local_move[1]],
+                local_move[2],
+            )
+            assert pooled_move[:2] == lifted[:2]
+            assert pooled_move[2] == pytest.approx(lifted[2])
+
+    def test_solution_outside_pool_rejected(self):
+        objective = self._objective()
+        with pytest.raises(InvalidParameterError):
+            best_swap(objective, {0, 3}, candidates=[0, 1, 2])
+
+    def test_update_until_stable_stays_in_pool(self):
+        objective = self._objective()
+        pool = [0, 1, 2]
+        outcome = update_until_stable(objective, {0, 1}, candidates=pool)
+        assert outcome.solution <= set(pool)
+        assert best_swap(objective, set(outcome.solution), candidates=pool) is None
+
 
 class TestRatioMaintenance:
     """Corollary 4: starting from a good solution, a single oblivious update

@@ -25,6 +25,13 @@ class TestCli:
         output = capsys.readouterr().out
         assert "greedy_ratio" in output
 
+    def test_multiquery_target(self, capsys):
+        assert main(["multiquery", "--quick"]) == 0
+        output = capsys.readouterr().out
+        assert "Multi-query serving" in output
+        assert "Speedup" in output
+        assert "False" not in output  # batched and naive selections agree
+
     def test_unknown_target_rejected(self):
         with pytest.raises(SystemExit):
             main(["table99"])
@@ -41,5 +48,6 @@ class TestCli:
             "table8",
             "figure1",
             "appendix",
+            "multiquery",
             "all",
         }

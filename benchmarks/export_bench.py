@@ -1,0 +1,79 @@
+"""Convert a pytest-benchmark JSON report into a compact ``BENCH_<sha>.json``.
+
+CI runs the perf-guard benchmarks with ``--benchmark-json`` and then invokes
+this script to distill the raw report into the trajectory artifact: one small
+JSON per commit holding wall times and the headline guard numbers (speedup
+ratios, parity) stashed in each benchmark's ``extra_info``.  The artifact is
+uploaded per run, so the bench history can be reassembled from CI artifacts
+instead of being thrown away with the job log.
+
+Usage
+-----
+```
+python benchmarks/export_bench.py raw.json BENCH_${GITHUB_SHA}.json --sha $GITHUB_SHA
+```
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+#: extra_info keys that carry a guard headline worth surfacing at top level.
+_GUARD_KEYS = ("speedup", "parity")
+
+
+def distill(report: dict, *, sha: Optional[str] = None) -> dict:
+    """Reduce a pytest-benchmark report to the per-commit artifact payload."""
+    benchmarks = []
+    guards = {}
+    for bench in report.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        extra = bench.get("extra_info", {})
+        name = bench.get("name", "?")
+        benchmarks.append(
+            {
+                "name": name,
+                "min_seconds": stats.get("min"),
+                "mean_seconds": stats.get("mean"),
+                "rounds": stats.get("rounds"),
+                "extra_info": extra,
+            }
+        )
+        for key in _GUARD_KEYS:
+            if key in extra:
+                guards[f"{name}.{key}"] = extra[key]
+    return {
+        "sha": sha,
+        "machine": report.get("machine_info", {}).get("node"),
+        "python": report.get("machine_info", {}).get("python_version"),
+        "datetime": report.get("datetime"),
+        "guards": guards,
+        "benchmarks": benchmarks,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("source", help="pytest-benchmark JSON report")
+    parser.add_argument("target", help="output path (e.g. BENCH_<sha>.json)")
+    parser.add_argument("--sha", default=None, help="commit SHA to embed")
+    args = parser.parse_args(argv)
+
+    with open(args.source, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    payload = distill(report, sha=args.sha)
+    with open(args.target, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"wrote {args.target}: {len(payload['benchmarks'])} benchmarks, "
+        f"{len(payload['guards'])} guard numbers"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

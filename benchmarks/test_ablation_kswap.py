@@ -10,7 +10,6 @@ exact approximation ratios observed.
 
 from __future__ import annotations
 
-import numpy as np
 
 from benchmarks.conftest import run_once
 from repro.core.exact import exact_diversify

@@ -13,7 +13,6 @@ from __future__ import annotations
 import numpy as np
 
 from benchmarks.conftest import run_once
-from repro.core.exact import exact_diversify
 from repro.core.greedy import greedy_diversify
 from repro.core.knapsack import exact_knapsack_diversify, knapsack_greedy
 from repro.core.streaming import streaming_diversify

@@ -1,0 +1,66 @@
+"""Tests for the ``BENCH_<sha>.json`` distiller used by the CI perf pipeline."""
+
+from __future__ import annotations
+
+import json
+
+from . import export_bench
+
+
+def _report() -> dict:
+    return {
+        "datetime": "2026-07-29T00:00:00",
+        "machine_info": {"node": "ci-runner", "python_version": "3.12.0"},
+        "benchmarks": [
+            {
+                "name": "test_swap_scan_speedup",
+                "stats": {"min": 0.001, "mean": 0.002, "rounds": 20},
+                "extra_info": {"speedup": 44.0, "n": 2000},
+            },
+            {
+                "name": "test_sharded_coreset_parity_and_speedup",
+                "stats": {"min": 0.1, "mean": 0.12, "rounds": 3},
+                "extra_info": {"speedup": 12.0, "parity": 1.0},
+            },
+            {
+                "name": "test_greedy_n2000_p50",
+                "stats": {"min": 0.05, "mean": 0.06, "rounds": 1},
+                "extra_info": {"objective_value": 123.4},
+            },
+        ],
+    }
+
+
+def test_distill_collects_guard_numbers():
+    payload = export_bench.distill(_report(), sha="abc123")
+    assert payload["sha"] == "abc123"
+    assert payload["machine"] == "ci-runner"
+    assert payload["guards"] == {
+        "test_swap_scan_speedup.speedup": 44.0,
+        "test_sharded_coreset_parity_and_speedup.speedup": 12.0,
+        "test_sharded_coreset_parity_and_speedup.parity": 1.0,
+    }
+    assert [b["name"] for b in payload["benchmarks"]] == [
+        "test_swap_scan_speedup",
+        "test_sharded_coreset_parity_and_speedup",
+        "test_greedy_n2000_p50",
+    ]
+    assert payload["benchmarks"][0]["min_seconds"] == 0.001
+
+
+def test_distill_handles_empty_report():
+    payload = export_bench.distill({})
+    assert payload["benchmarks"] == []
+    assert payload["guards"] == {}
+    assert payload["sha"] is None
+
+
+def test_main_round_trip(tmp_path):
+    source = tmp_path / "raw.json"
+    target = tmp_path / "BENCH_abc.json"
+    source.write_text(json.dumps(_report()))
+    assert export_bench.main([str(source), str(target), "--sha", "abc"]) == 0
+    written = json.loads(target.read_text())
+    assert written["sha"] == "abc"
+    assert len(written["benchmarks"]) == 3
+    assert written["guards"]["test_swap_scan_speedup.speedup"] == 44.0

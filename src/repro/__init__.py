@@ -45,9 +45,11 @@ from repro.core import (
     refine_with_local_search,
     solve,
     solve_many,
+    solve_sharded,
     streaming_diversify,
 )
 from repro.data import (
+    FeatureInstance,
     GeoInstance,
     LetorQueryData,
     PortfolioInstance,
@@ -55,6 +57,7 @@ from repro.data import (
     SyntheticInstance,
     SyntheticLetorCorpus,
     load_instance,
+    make_feature_instance,
     make_geo_instance,
     make_portfolio_instance,
     make_synthetic_instance,
@@ -106,6 +109,7 @@ __all__ = [
     "LocalSearchConfig",
     "solve",
     "solve_many",
+    "solve_sharded",
     "greedy_diversify",
     "greedy_dispersion",
     "gollapudi_sharma_greedy",
@@ -151,6 +155,8 @@ __all__ = [
     # data
     "SyntheticInstance",
     "make_synthetic_instance",
+    "FeatureInstance",
+    "make_feature_instance",
     "SyntheticLetorCorpus",
     "LetorQueryData",
     "PortfolioInstance",

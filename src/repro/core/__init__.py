@@ -34,6 +34,10 @@ its experiments compare against:
 * :func:`~repro.core.batch.solve_many` — the batched multi-query front end:
   many candidate pools against one shared corpus with zero per-query O(n²)
   work, optionally mapped over a thread pool for oracle-free instances.
+* :func:`~repro.core.sharding.solve_sharded` — the sharded core-set pipeline
+  for universes beyond matrix scale: partition, solve each shard on lazy
+  per-shard state (optionally on a thread/process pool), and run the final
+  algorithm on the union of shard winners.
 """
 
 from repro.core.baselines import (
@@ -53,6 +57,7 @@ from repro.core.local_search import (
 )
 from repro.core.mmr import mmr_select
 from repro.core.restriction import Restriction
+from repro.core.sharding import solve_sharded
 from repro.core.streaming import StreamingDiversifier, streaming_diversify
 from repro.core.objective import Objective
 from repro.core.result import SolverResult
@@ -79,4 +84,5 @@ __all__ = [
     "streaming_diversify",
     "solve",
     "solve_many",
+    "solve_sharded",
 ]

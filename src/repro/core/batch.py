@@ -54,6 +54,8 @@ def solve_many(
     local_search_config: Optional[LocalSearchConfig] = None,
     materialize: bool = True,
     max_workers: Optional[int] = None,
+    shards: Optional[int] = None,
+    shard_size: Optional[int] = None,
 ) -> List[SolverResult]:
     """Solve one diversification instance per candidate pool on a shared corpus.
 
@@ -88,7 +90,15 @@ def solve_many(
         quality): those solves read only immutable shared state, and NumPy
         releases the GIL inside the submatrix reductions.  Oracle-backed
         instances run sequentially regardless, since arbitrary user oracles
-        make no thread-safety promises.
+        make no thread-safety promises.  On the sharded path the budget is
+        forwarded to each query's shard map instead.
+    shards, shard_size:
+        When given, every query is solved through the sharded core-set
+        pipeline (:func:`~repro.core.sharding.solve_sharded`) with its pool
+        as the candidate set.  The corpus metric is then *not* materialized
+        regardless of ``materialize`` — avoiding the O(n²) corpus matrix is
+        the point of sharding — so this is the multi-query path for corpora
+        beyond matrix scale.
 
     Returns
     -------
@@ -105,9 +115,15 @@ def solve_many(
     if max_workers is not None and max_workers < 1:
         raise InvalidParameterError("max_workers must be at least 1")
 
+    sharded = shards is not None or shard_size is not None
+    if sharded and matroid is not None:
+        raise InvalidParameterError(
+            "sharded solving supports cardinality constraints only"
+        )
+
     # Shared corpus state, prepared once.
     shared_metric = metric
-    if materialize and metric.matrix_view() is None:
+    if materialize and not sharded and metric.matrix_view() is None:
         shared_metric = as_distance_matrix(metric)
     shared_quality = quality
     if quality.is_modular and getattr(quality, "weights_view", None) is None:
@@ -126,6 +142,24 @@ def solve_many(
         )
 
     def solve_one(pool: Iterable[Element]) -> SolverResult:
+        if sharded:
+            from repro.core.sharding import solve_sharded
+
+            # The outer query map stays sequential for lazy metrics (no
+            # matrix fast path), so hand the worker budget to the per-query
+            # shard map instead of dropping it.
+            return solve_sharded(
+                shared_quality,
+                shared_metric,
+                tradeoff=tradeoff,
+                p=p,
+                shards=shards,
+                shard_size=shard_size,
+                algorithm=algorithm,
+                candidates=pool,
+                max_workers=max_workers,
+                local_search_config=local_search_config,
+            )
         restriction = Restriction(objective, pool)
         sub_matroid = (
             matroid.restrict(restriction.candidates) if matroid is not None else None

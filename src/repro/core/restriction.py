@@ -28,6 +28,7 @@ from repro._types import Element
 from repro.core.objective import Objective
 from repro.core.result import SolverResult
 from repro.exceptions import InvalidParameterError
+from repro.metrics.base import Metric
 from repro.utils.validation import check_candidate_pool
 
 __all__ = ["Restriction"]
@@ -43,6 +44,12 @@ class Restriction:
     candidates:
         The candidate pool.  Deduplicated in first-seen order; local element
         ``i`` of the restricted instance is ``candidates[i]``.
+    metric:
+        Optional pre-built sub-metric to use instead of
+        ``objective.metric.restrict(candidates)``.  The caller asserts it is
+        the restriction of the base metric onto the pool — the sharded
+        core-set solver passes a lazy slice or a chunk-materialized block
+        here so huge universes never pay the default restriction's cost.
 
     Attributes
     ----------
@@ -52,16 +59,29 @@ class Restriction:
         ``restricted.value(S) == base.value(to_global(S))``.
     """
 
-    def __init__(self, objective: Objective, candidates: Iterable[Element]) -> None:
+    def __init__(
+        self,
+        objective: Objective,
+        candidates: Iterable[Element],
+        *,
+        metric: Optional[Metric] = None,
+    ) -> None:
         idx = check_candidate_pool(candidates, objective.n)
         self._base = objective
         self._globals: Tuple[Element, ...] = tuple(idx.tolist())
         # Built lazily: the batched front end never needs the global→local
         # map, and building one dict per query is measurable overhead.
         self._locals: Optional[Dict[Element, Element]] = None
+        if metric is None:
+            metric = objective.metric.restrict(self._globals)
+        elif metric.n != len(self._globals):
+            raise InvalidParameterError(
+                f"supplied sub-metric covers {metric.n} elements but the pool "
+                f"has {len(self._globals)}"
+            )
         self._objective = Objective(
             objective.quality.restrict(self._globals),
-            objective.metric.restrict(self._globals),
+            metric,
             objective.tradeoff,
         )
 

@@ -48,6 +48,9 @@ def solve(
     algorithm: str = "auto",
     candidates: Optional[Iterable[Element]] = None,
     local_search_config: Optional[LocalSearchConfig] = None,
+    shards: Optional[int] = None,
+    shard_size: Optional[int] = None,
+    shard_workers: Optional[int] = None,
 ) -> SolverResult:
     """Solve a max-sum diversification instance.
 
@@ -75,6 +78,15 @@ def solve(
         ``result.metadata["candidates"]``).
     local_search_config:
         Configuration forwarded to the local search.
+    shards, shard_size, shard_workers:
+        When either of ``shards`` / ``shard_size`` is given, the instance is
+        solved through the sharded core-set pipeline
+        (:func:`~repro.core.sharding.solve_sharded`): the universe is
+        partitioned, each shard solved independently on lazy / per-shard
+        state (optionally across ``shard_workers`` threads), and
+        ``algorithm`` runs on the union of the shard winners.  This is the
+        path for universes too large to materialize O(n²) distances;
+        cardinality constraints only.
 
     Returns
     -------
@@ -86,6 +98,27 @@ def solve(
         )
     if (p is None) == (matroid is None):
         raise InvalidParameterError("supply exactly one of p and matroid")
+
+    if shards is not None or shard_size is not None:
+        if matroid is not None:
+            raise InvalidParameterError(
+                "sharded solving supports cardinality constraints only; "
+                "matroid constraints need the unsharded path"
+            )
+        from repro.core.sharding import solve_sharded
+
+        return solve_sharded(
+            quality,
+            metric,
+            tradeoff=tradeoff,
+            p=p,
+            shards=shards,
+            shard_size=shard_size,
+            algorithm=algorithm,
+            candidates=candidates,
+            max_workers=shard_workers,
+            local_search_config=local_search_config,
+        )
 
     objective = Objective(quality, metric, tradeoff)
     if matroid is not None and matroid.n != objective.n:

@@ -15,11 +15,18 @@ from repro.data.geo import GeoInstance, make_geo_instance
 from repro.data.io import SavedInstance, load_instance, save_instance
 from repro.data.letor import LetorDocument, LetorQueryData, SyntheticLetorCorpus
 from repro.data.portfolio import PortfolioInstance, make_portfolio_instance
-from repro.data.synthetic import SyntheticInstance, make_synthetic_instance
+from repro.data.synthetic import (
+    FeatureInstance,
+    SyntheticInstance,
+    make_feature_instance,
+    make_synthetic_instance,
+)
 
 __all__ = [
     "SyntheticInstance",
     "make_synthetic_instance",
+    "FeatureInstance",
+    "make_feature_instance",
     "SyntheticLetorCorpus",
     "LetorDocument",
     "LetorQueryData",

@@ -19,7 +19,12 @@ import argparse
 import sys
 from typing import Callable, Dict
 
-from repro.experiments import dynamic_fig, multiquery as multiquery_module, tables
+from repro.experiments import (
+    coreset as coreset_module,
+    dynamic_fig,
+    multiquery as multiquery_module,
+    tables,
+)
 from repro.experiments.appendix import appendix_bad_instance, run_appendix_comparison
 from repro.experiments.reporting import format_table
 
@@ -35,6 +40,7 @@ QUICK_OVERRIDES: Dict[str, dict] = {
     "table8": {"top_k": 25},
     "figure1": {"n": 10, "p": 4, "steps": 5, "repeats": 5},
     "multiquery": {"n": 200, "num_queries": 4, "pool_size": 40, "p": 5},
+    "coreset": {"n": 1500, "p": 5, "shard_counts": (2, 8)},
 }
 
 
@@ -54,6 +60,11 @@ def _run_multiquery(quick: bool) -> str:
     return multiquery_module.multiquery(**kwargs).render()
 
 
+def _run_coreset(quick: bool) -> str:
+    kwargs = QUICK_OVERRIDES["coreset"] if quick else {}
+    return coreset_module.coreset(**kwargs).render()
+
+
 def _run_appendix(quick: bool) -> str:
     r_values = (6, 10, 20) if quick else (6, 10, 20, 40, 80)
     rows = []
@@ -71,6 +82,7 @@ TARGETS = tuple(f"table{i}" for i in range(1, 9)) + (
     "figure1",
     "appendix",
     "multiquery",
+    "coreset",
     "all",
 )
 
@@ -86,7 +98,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     targets = (
-        [f"table{i}" for i in range(1, 9)] + ["figure1", "appendix", "multiquery"]
+        [f"table{i}" for i in range(1, 9)]
+        + ["figure1", "appendix", "multiquery", "coreset"]
         if args.target == "all"
         else [args.target]
     )
@@ -97,6 +110,8 @@ def main(argv=None) -> int:
             print(_run_appendix(args.quick))
         elif target == "multiquery":
             print(_run_multiquery(args.quick))
+        elif target == "coreset":
+            print(_run_coreset(args.quick))
         else:
             print(_run_table(target, args.quick))
         print()

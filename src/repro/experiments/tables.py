@@ -14,7 +14,7 @@ substitution rationale.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.baselines import gollapudi_sharma_greedy
 from repro.core.exact import exact_diversify
@@ -22,7 +22,7 @@ from repro.core.greedy import greedy_diversify
 from repro.core.local_search import refine_with_local_search
 from repro.core.objective import Objective
 from repro.core.result import SolverResult
-from repro.data.letor import LetorQueryData, SyntheticLetorCorpus
+from repro.data.letor import SyntheticLetorCorpus
 from repro.data.synthetic import PAPER_SYNTHETIC_TRADEOFF, make_synthetic_instance
 from repro.experiments.harness import aggregate_trials, compare_algorithms
 from repro.experiments.reporting import format_table

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Mapping, Sequence, Set
 
-import numpy as np
 
 from repro._types import Element
 from repro.exceptions import InvalidParameterError

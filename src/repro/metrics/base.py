@@ -23,7 +23,7 @@ class Metric(ABC):
     implementations of the bulk helpers fall back to pairwise queries;
     matrix-backed metrics override them with vectorized versions.
 
-    The interface is two-tier:
+    The interface is three-tier:
 
     * **Oracle metrics** only answer :meth:`distance` queries; algorithms use
       their reference (loop-based) code paths.
@@ -31,6 +31,13 @@ class Metric(ABC):
       full ``n x n`` array without a copy) and a cheap :meth:`row`, which the
       vectorized kernels in :mod:`repro.core.kernels` use to replace per-pair
       Python loops with NumPy array operations.
+    * **Lazy (block) metrics** answer :meth:`block` requests — arbitrary
+      ``rows × cols`` distance blocks computed on demand, never touching the
+      global ``n x n`` matrix — and may offer :meth:`restrict_lazy`, a
+      copy-light sub-metric that stays lazy.  The sharded core-set solver
+      (:mod:`repro.core.sharding`) is built on this tier: it lets ``n`` grow
+      to the hundreds of thousands while only ever materializing per-shard
+      blocks.
     """
 
     @property
@@ -57,6 +64,52 @@ class Metric(ABC):
         back to :meth:`distances_from` over the whole ground set.
         """
         return self.distances_from(u, range(self.n))
+
+    def block(self, rows: Iterable[Element], cols: Iterable[Element]) -> np.ndarray:
+        """Return the distance block ``B[i, j] = d(rows[i], cols[j])``.
+
+        The lazy-tier workhorse: callers ask for exactly the sub-block they
+        need (a shard's ``k × k`` submatrix, a candidate-to-solution strip)
+        and no global ``n × n`` array is ever formed.  Indices may repeat and
+        need not be sorted; the result is a fresh array the caller owns.
+
+        The default implementation performs one :meth:`distances_from` sweep
+        per row — vectorized for feature metrics, an O(|rows|·|cols|) oracle
+        loop otherwise.  :class:`~repro.metrics.euclidean.EuclideanMetric` and
+        :class:`~repro.metrics.cosine.CosineMetric` override it with chunked
+        array implementations whose peak memory stays bounded regardless of
+        block shape.
+        """
+        row_idx = np.asarray(rows, dtype=int)
+        col_idx = np.asarray(cols, dtype=int)
+        out = np.empty((row_idx.size, col_idx.size), dtype=float)
+        for i, u in enumerate(row_idx):
+            out[i] = self.distances_from(int(u), col_idx)
+        return out
+
+    def restrict_lazy(self, elements: Iterable[Element]) -> Optional["Metric"]:
+        """Return a *lazy* sub-metric on ``elements``, or ``None``.
+
+        Unlike :meth:`restrict` — which may materialize the induced ``k × k``
+        matrix — a lazy restriction keeps computing distances on demand from
+        O(k) state (e.g. a slice of the feature matrix).  The sharded solver
+        prefers this for algorithms that never need the full shard matrix.
+        Metrics without a cheap lazy form return ``None`` (the default) and
+        callers fall back to :meth:`restrict`.
+        """
+        return None
+
+    @property
+    def parallel_safe(self) -> bool:
+        """Whether concurrent reads from multiple threads are safe.
+
+        ``True`` only when every distance query is a pure read of immutable
+        NumPy state (explicit matrices, feature-vector metrics), which is what
+        the thread-pooled shard map in :mod:`repro.core.sharding` and the
+        batched front end require.  Arbitrary user oracles make no such
+        promise, so the base default is ``False``.
+        """
+        return False
 
     def matrix_view(self) -> Optional[np.ndarray]:
         """Return the underlying ``n x n`` matrix without copying, or ``None``.

@@ -17,6 +17,10 @@ import numpy as np
 from repro._types import Element
 from repro.exceptions import InvalidParameterError
 from repro.metrics.base import Metric
+from repro.utils.validation import check_candidate_pool
+
+#: Upper bound on the floats held by one chunk of a block computation.
+_BLOCK_CHUNK_FLOATS = 4 << 20
 
 
 class CosineMetric(Metric):
@@ -44,6 +48,19 @@ class CosineMetric(Metric):
             raise InvalidParameterError("shift must be non-negative")
         self._unit = array / norms[:, None]
         self._shift = float(shift)
+
+    @classmethod
+    def _from_unit(cls, unit: np.ndarray, shift: float) -> "CosineMetric":
+        """Wrap already-normalized rows without re-normalizing.
+
+        The single alternate construction path (used by :meth:`restrict_lazy`
+        so sub-metric distances stay bitwise identical to the parent's); keep
+        it in sync with any state ``__init__`` gains.
+        """
+        metric = cls.__new__(cls)
+        metric._unit = unit
+        metric._shift = float(shift)
+        return metric
 
     @property
     def n(self) -> int:
@@ -74,6 +91,35 @@ class CosineMetric(Metric):
         distances = np.maximum(1.0 - cos, 0.0) + self._shift
         distances[u] = 0.0
         return distances
+
+    def block(self, rows: Iterable[Element], cols: Iterable[Element]) -> np.ndarray:
+        """Chunked ``rows × cols`` distance block with bounded peak memory.
+
+        Row chunks keep each GEMM product under a fixed float budget; entries
+        with equal row and column index are zeroed so the block agrees with
+        :meth:`distance` on the diagonal even when a shift is applied.
+        """
+        row_idx = np.asarray(rows, dtype=int)
+        col_idx = np.asarray(cols, dtype=int)
+        col_unit = self._unit[col_idx]
+        out = np.empty((row_idx.size, col_idx.size), dtype=float)
+        chunk = max(_BLOCK_CHUNK_FLOATS // max(col_idx.size, 1), 1)
+        for start in range(0, row_idx.size, chunk):
+            stop = min(start + chunk, row_idx.size)
+            cos = np.clip(self._unit[row_idx[start:stop]] @ col_unit.T, -1.0, 1.0)
+            part = np.maximum(1.0 - cos, 0.0) + self._shift
+            part[row_idx[start:stop, None] == col_idx[None, :]] = 0.0
+            out[start:stop] = part
+        return out
+
+    def restrict_lazy(self, elements: Iterable[Element]) -> "CosineMetric":
+        """Lazy restriction: slice the unit-vector matrix (O(k·d), never O(k²))."""
+        idx = check_candidate_pool(elements, self.n)
+        return CosineMetric._from_unit(self._unit[idx], self._shift)
+
+    @property
+    def parallel_safe(self) -> bool:
+        return True
 
     def to_matrix(self) -> np.ndarray:
         cos = np.clip(self._unit @ self._unit.T, -1.0, 1.0)

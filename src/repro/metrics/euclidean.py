@@ -14,6 +14,11 @@ import numpy as np
 from repro._types import Element
 from repro.exceptions import InvalidParameterError
 from repro.metrics.base import Metric
+from repro.utils.validation import check_candidate_pool
+
+#: Upper bound on the number of floats a chunked block computation may hold
+#: in its intermediate ``chunk × cols × d`` difference tensor (32 MiB).
+_BLOCK_CHUNK_FLOATS = 4 << 20
 
 
 class EuclideanMetric(Metric):
@@ -61,6 +66,36 @@ class EuclideanMetric(Metric):
     def row(self, u: Element) -> np.ndarray:
         diff = self._points - self._points[u]
         return np.sqrt(np.sum(diff * diff, axis=1))
+
+    def block(self, rows: Iterable[Element], cols: Iterable[Element]) -> np.ndarray:
+        """Chunked ``rows × cols`` distance block with bounded peak memory.
+
+        Row chunks are sized so the intermediate ``chunk × |cols| × d``
+        difference tensor never exceeds a fixed budget, making shard-sized
+        block requests safe at any universe size.  Each entry is computed with
+        the same subtract–square–sum–sqrt pipeline as :meth:`distances_from`,
+        so both tiers agree bitwise.
+        """
+        row_idx = np.asarray(rows, dtype=int)
+        col_idx = np.asarray(cols, dtype=int)
+        col_points = self._points[col_idx]
+        out = np.empty((row_idx.size, col_idx.size), dtype=float)
+        per_row = max(col_idx.size * self.dimension, 1)
+        chunk = max(_BLOCK_CHUNK_FLOATS // per_row, 1)
+        for start in range(0, row_idx.size, chunk):
+            stop = min(start + chunk, row_idx.size)
+            diff = self._points[row_idx[start:stop], None, :] - col_points[None, :, :]
+            out[start:stop] = np.sqrt(np.sum(diff * diff, axis=-1))
+        return out
+
+    def restrict_lazy(self, elements: Iterable[Element]) -> "EuclideanMetric":
+        """Lazy restriction: slice the point matrix (O(k·d), never O(k²))."""
+        idx = check_candidate_pool(elements, self.n)
+        return EuclideanMetric(self._points[idx])
+
+    @property
+    def parallel_safe(self) -> bool:
+        return True
 
     def to_matrix(self) -> np.ndarray:
         diff = self._points[:, None, :] - self._points[None, :, :]

@@ -86,6 +86,15 @@ class DistanceMatrix(Metric):
     def matrix_view(self) -> np.ndarray:
         return self._matrix_view
 
+    def block(self, rows: Iterable[Element], cols: Iterable[Element]) -> np.ndarray:
+        row_idx = np.asarray(rows, dtype=int)
+        col_idx = np.asarray(cols, dtype=int)
+        return self._matrix[np.ix_(row_idx, col_idx)]
+
+    @property
+    def parallel_safe(self) -> bool:
+        return True
+
     def to_matrix(self) -> np.ndarray:
         return self._matrix.copy()
 

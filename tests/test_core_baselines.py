@@ -15,7 +15,7 @@ from repro.core.objective import Objective
 from repro.data.synthetic import make_synthetic_instance
 from repro.exceptions import SolverError
 from repro.functions.coverage import CoverageFunction
-from repro.functions.modular import ModularFunction, ZeroFunction
+from repro.functions.modular import ZeroFunction
 from repro.metrics.discrete import UniformRandomMetric
 from repro.metrics.validation import is_metric
 

@@ -10,7 +10,6 @@ from repro.core.objective import Objective
 from repro.core.result import SolverResult, build_result
 from repro.data.synthetic import make_synthetic_instance
 from repro.exceptions import InvalidParameterError, SolverError
-from repro.functions.modular import ModularFunction
 from repro.matroids.partition import PartitionMatroid
 from repro.metrics.discrete import UniformRandomMetric
 

@@ -16,7 +16,6 @@ from repro._types import Element
 from repro.core import kernels
 from repro.core.greedy import _best_pair, greedy_diversify
 from repro.core.local_search import (
-    LocalSearchConfig,
     _scan_swaps_reference,
     _scan_swaps_vectorized,
     local_search_diversify,

@@ -15,7 +15,6 @@ from repro.core.objective import Objective
 from repro.data.synthetic import make_synthetic_instance
 from repro.exceptions import InvalidParameterError
 from repro.functions.coverage import CoverageFunction
-from repro.functions.modular import ModularFunction
 from repro.matroids.partition import PartitionMatroid
 from repro.matroids.transversal import TransversalMatroid
 from repro.matroids.uniform import UniformMatroid

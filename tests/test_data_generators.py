@@ -8,7 +8,11 @@ import pytest
 from repro.data.geo import make_geo_instance
 from repro.data.letor import MAX_RELEVANCE, SyntheticLetorCorpus
 from repro.data.portfolio import make_portfolio_instance
-from repro.data.synthetic import PAPER_SYNTHETIC_TRADEOFF, make_synthetic_instance
+from repro.data.synthetic import (
+    PAPER_SYNTHETIC_TRADEOFF,
+    make_feature_instance,
+    make_synthetic_instance,
+)
 from repro.exceptions import InvalidParameterError
 from repro.metrics.validation import is_metric
 
@@ -161,3 +165,31 @@ class TestGeoInstance:
             make_geo_instance(0)
         with pytest.raises(InvalidParameterError):
             make_geo_instance(5, num_districts=0)
+
+
+class TestFeatureInstance:
+    def test_shape_and_objective(self):
+        instance = make_feature_instance(40, dimension=5, tradeoff=0.3, seed=2)
+        assert instance.n == 40
+        assert instance.metric.points.shape == (40, 5)
+        assert instance.weights.shape == (40,)
+        assert np.all(instance.weights >= 0)
+        objective = instance.objective
+        assert objective.n == 40
+        assert objective.tradeoff == 0.3
+        # Feature instances are the lazy tier: no materialized matrix view.
+        assert instance.metric.matrix_view() is None
+
+    def test_reproducible(self):
+        first = make_feature_instance(15, seed=7)
+        second = make_feature_instance(15, seed=7)
+        assert np.array_equal(first.weights, second.weights)
+        assert np.array_equal(first.metric.points, second.metric.points)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            make_feature_instance(-1)
+        with pytest.raises(InvalidParameterError):
+            make_feature_instance(5, dimension=0)
+        with pytest.raises(InvalidParameterError):
+            make_feature_instance(5, weight_low=2.0, weight_high=1.0)

@@ -32,6 +32,12 @@ class TestCli:
         assert "Speedup" in output
         assert "False" not in output  # batched and naive selections agree
 
+    def test_coreset_target(self, capsys):
+        assert main(["coreset", "--quick"]) == 0
+        output = capsys.readouterr().out
+        assert "Sharded core-set solving" in output
+        assert "Parity" in output
+
     def test_unknown_target_rejected(self):
         with pytest.raises(SystemExit):
             main(["table99"])
@@ -49,5 +55,6 @@ class TestCli:
             "figure1",
             "appendix",
             "multiquery",
+            "coreset",
             "all",
         }

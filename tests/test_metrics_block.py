@@ -1,0 +1,133 @@
+"""Tests for the lazy metric tier: block(), restrict_lazy(), parallel_safe."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.base import Metric
+from repro.metrics.cosine import CosineMetric
+from repro.metrics.euclidean import EuclideanMetric
+from repro.metrics.matrix import DistanceMatrix
+
+
+class OracleMetric(Metric):
+    """Distances served only through the pairwise oracle interface."""
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        self._backing = np.asarray(matrix, dtype=float)
+
+    @property
+    def n(self) -> int:
+        return self._backing.shape[0]
+
+    def distance(self, u, v) -> float:
+        return float(self._backing[u, v])
+
+
+def _metrics(rng):
+    points = rng.normal(size=(23, 4))
+    features = np.abs(rng.normal(size=(23, 6))) + 0.1
+    euclidean = EuclideanMetric(points)
+    return {
+        "euclidean": euclidean,
+        "cosine": CosineMetric(features, shift=0.05),
+        "matrix": DistanceMatrix(euclidean.to_matrix()),
+        "oracle": OracleMetric(euclidean.to_matrix()),
+    }
+
+
+@pytest.mark.parametrize("kind", ["euclidean", "cosine", "matrix", "oracle"])
+def test_block_matches_distance_oracle(kind):
+    metric = _metrics(np.random.default_rng(1))[kind]
+    rows = [3, 0, 11, 3]  # repeats and unsorted on purpose
+    cols = [7, 3, 19, 0, 5]
+    block = metric.block(rows, cols)
+    assert block.shape == (4, 5)
+    for i, u in enumerate(rows):
+        for j, v in enumerate(cols):
+            assert block[i, j] == pytest.approx(metric.distance(u, v), abs=1e-12)
+
+
+@pytest.mark.parametrize("kind", ["euclidean", "cosine", "matrix", "oracle"])
+def test_block_empty_edges(kind):
+    metric = _metrics(np.random.default_rng(2))[kind]
+    assert metric.block([], [1, 2]).shape == (0, 2)
+    assert metric.block([1, 2], []).shape == (2, 0)
+
+
+def test_euclidean_block_chunking_consistent(monkeypatch):
+    # Force tiny chunks and verify the chunked result is bitwise identical to
+    # the one-shot row computation.
+    from repro.metrics import euclidean as euclidean_module
+
+    metric = EuclideanMetric(np.random.default_rng(3).normal(size=(40, 5)))
+    rows = np.arange(40)
+    full = metric.block(rows, rows)
+    monkeypatch.setattr(euclidean_module, "_BLOCK_CHUNK_FLOATS", 16)
+    chunked = metric.block(rows, rows)
+    assert np.array_equal(full, chunked)
+    expected = np.stack([metric.row(u) for u in range(40)])
+    assert np.array_equal(chunked, expected)
+
+
+def test_cosine_block_chunking_consistent(monkeypatch):
+    from repro.metrics import cosine as cosine_module
+
+    features = np.abs(np.random.default_rng(4).normal(size=(30, 4))) + 0.1
+    metric = CosineMetric(features, shift=0.1)
+    rows = np.arange(30)
+    full = metric.block(rows, rows)
+    monkeypatch.setattr(cosine_module, "_BLOCK_CHUNK_FLOATS", 8)
+    chunked = metric.block(rows, rows)
+    # BLAS picks different kernels per chunk shape, so agreement is to the
+    # last ulp rather than bitwise (unlike the euclidean subtract-square-sum
+    # pipeline, whose reductions are shape-independent).
+    np.testing.assert_allclose(full, chunked, rtol=0.0, atol=1e-15)
+    np.testing.assert_allclose(chunked, chunked.T, atol=1e-12)
+    assert np.all(np.diag(chunked) == 0.0)
+
+
+def test_square_blocks_are_valid_distance_matrices():
+    # The sharded solver wraps pool×pool blocks in DistanceMatrix, which
+    # validates symmetry, non-negativity and a zero diagonal.
+    for metric in _metrics(np.random.default_rng(5)).values():
+        pool = np.array([2, 5, 7, 11, 13])
+        DistanceMatrix(metric.block(pool, pool), copy=False)
+
+
+class TestRestrictLazy:
+    def test_euclidean(self):
+        metric = EuclideanMetric(np.random.default_rng(6).normal(size=(15, 3)))
+        pool = [9, 2, 5]
+        lazy = metric.restrict_lazy(pool)
+        assert isinstance(lazy, EuclideanMetric)
+        assert lazy.n == 3
+        for i, u in enumerate(pool):
+            for j, v in enumerate(pool):
+                assert lazy.distance(i, j) == metric.distance(u, v)
+
+    def test_cosine_bitwise_consistent(self):
+        features = np.abs(np.random.default_rng(7).normal(size=(15, 4))) + 0.1
+        metric = CosineMetric(features, shift=0.2)
+        pool = [14, 0, 8, 3]
+        lazy = metric.restrict_lazy(pool)
+        assert isinstance(lazy, CosineMetric)
+        assert lazy.shift == metric.shift
+        for i, u in enumerate(pool):
+            for j, v in enumerate(pool):
+                assert lazy.distance(i, j) == metric.distance(u, v)
+
+    def test_default_is_none(self):
+        oracle = OracleMetric(np.zeros((4, 4)))
+        assert oracle.restrict_lazy([0, 1]) is None
+        matrix = DistanceMatrix(np.zeros((4, 4)))
+        assert matrix.restrict_lazy([0, 1]) is None
+
+
+def test_parallel_safe_flags():
+    metrics = _metrics(np.random.default_rng(8))
+    assert metrics["euclidean"].parallel_safe
+    assert metrics["cosine"].parallel_safe
+    assert metrics["matrix"].parallel_safe
+    assert not metrics["oracle"].parallel_safe

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.exceptions import MetricError, TriangleInequalityError
+from repro.exceptions import TriangleInequalityError
 from repro.metrics.discrete import UniformRandomMetric
 from repro.metrics.matrix import DistanceMatrix
 from repro.metrics.relaxed import relaxation_parameter, satisfies_relaxed_triangle

@@ -18,7 +18,6 @@ from repro.metrics.aggregates import (
 )
 from repro.metrics.discrete import UniformRandomMetric
 from repro.metrics.euclidean import EuclideanMetric
-from repro.metrics.matrix import DistanceMatrix
 from repro.metrics.validation import is_metric
 
 # ----------------------------------------------------------------------

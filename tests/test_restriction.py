@@ -13,7 +13,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.objective import Objective
 from repro.core.restriction import Restriction
 from repro.core.solver import ALGORITHMS, solve
 from repro.core.streaming import streaming_diversify

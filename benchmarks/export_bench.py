@@ -22,7 +22,10 @@ import sys
 from typing import Optional, Sequence
 
 #: extra_info keys that carry a guard headline worth surfacing at top level.
-_GUARD_KEYS = ("speedup", "parity")
+#: ``celf_fraction`` is the lazy-greedy evaluation ratio of the submodular
+#: suite (fraction of candidates whose quality gain is re-evaluated after the
+#: first greedy iteration — the CELF contract caps it at 0.25).
+_GUARD_KEYS = ("speedup", "parity", "celf_fraction")
 
 
 def distill(report: dict, *, sha: Optional[str] = None) -> dict:

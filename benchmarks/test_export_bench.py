@@ -27,6 +27,11 @@ def _report() -> dict:
                 "stats": {"min": 0.05, "mean": 0.06, "rounds": 1},
                 "extra_info": {"objective_value": 123.4},
             },
+            {
+                "name": "test_greedy_facility_celf_speedup",
+                "stats": {"min": 0.2, "mean": 0.21, "rounds": 3},
+                "extra_info": {"speedup": 40.0, "celf_fraction": 0.07},
+            },
         ],
     }
 
@@ -39,11 +44,14 @@ def test_distill_collects_guard_numbers():
         "test_swap_scan_speedup.speedup": 44.0,
         "test_sharded_coreset_parity_and_speedup.speedup": 12.0,
         "test_sharded_coreset_parity_and_speedup.parity": 1.0,
+        "test_greedy_facility_celf_speedup.speedup": 40.0,
+        "test_greedy_facility_celf_speedup.celf_fraction": 0.07,
     }
     assert [b["name"] for b in payload["benchmarks"]] == [
         "test_swap_scan_speedup",
         "test_sharded_coreset_parity_and_speedup",
         "test_greedy_n2000_p50",
+        "test_greedy_facility_celf_speedup",
     ]
     assert payload["benchmarks"][0]["min_seconds"] == 0.001
 
@@ -62,5 +70,5 @@ def test_main_round_trip(tmp_path):
     assert export_bench.main([str(source), str(target), "--sha", "abc"]) == 0
     written = json.loads(target.read_text())
     assert written["sha"] == "abc"
-    assert len(written["benchmarks"]) == 3
+    assert len(written["benchmarks"]) == 4
     assert written["guards"]["test_swap_scan_speedup.speedup"] == 44.0

@@ -36,6 +36,11 @@ from repro.core.result import SolverResult, build_result
 from repro.exceptions import InvalidParameterError
 from repro.utils.validation import check_cardinality
 
+#: Number of top stale candidates re-evaluated per CELF round.  Batching
+#: amortizes the fixed cost of a gains call; the overshoot per selection step
+#: is bounded by one batch.
+_LAZY_BATCH = 8
+
 
 def _best_pair(objective: Objective, candidates: Iterable[Element]) -> tuple:
     """Return the candidate pair maximizing ``f({x,y}) + λ·d(x,y)``."""
@@ -66,6 +71,7 @@ def greedy_diversify(
     candidates: Optional[Iterable[Element]] = None,
     start: str = "potential",
     oblivious: bool = False,
+    lazy: Optional[bool] = None,
 ) -> SolverResult:
     """Run Greedy B for the cardinality-constrained problem.
 
@@ -90,6 +96,14 @@ def greedy_diversify(
         When ``True``, greedily maximize the true marginal ``φ_u(S)`` instead
         of the non-oblivious potential.  Provided for the ablation study; the
         2-approximation proof does not apply to it.
+    lazy:
+        CELF lazy evaluation for non-modular quality (the modular path has
+        its own O(1)-per-candidate kernel and ignores this flag).  Default
+        ``None`` enables laziness exactly when the quality declares itself
+        submodular — the property that makes stale quality gains valid upper
+        bounds.  ``False`` forces the plain batched evaluation (every
+        candidate re-scored each iteration); ``True`` forces laziness for
+        functions whose submodularity the caller vouches for.
 
     Returns
     -------
@@ -99,7 +113,7 @@ def greedy_diversify(
     if candidates is not None:
         restriction = objective.restrict(candidates)
         result = greedy_diversify(
-            restriction.objective, p, start=start, oblivious=oblivious
+            restriction.objective, p, start=start, oblivious=oblivious, lazy=lazy
         )
         return restriction.lift(result)
 
@@ -119,11 +133,6 @@ def greedy_diversify(
     remaining = set(range(n))
     iterations = 0
 
-    def marginal_of(u: Element, members: frozenset) -> float:
-        if oblivious:
-            return objective.marginal(u, members, tracker=tracker)
-        return objective.potential_marginal(u, members, tracker=tracker)
-
     if start == "best_pair" and p >= 2 and n >= 2:
         x, y = _best_pair(objective, range(n))
         for element in (x, y):
@@ -132,6 +141,11 @@ def greedy_diversify(
             tracker.add(element)
             remaining.discard(element)
         iterations += 1
+
+    quality = objective.quality
+    quality_scale = 1.0 if oblivious else 0.5
+    penalty = np.full(n, -np.inf)
+    penalty[list(remaining)] = 0.0
 
     # Fast path for modular quality: the potential of every candidate is
     # ``scale·w(u) + λ·d_u(S)`` with the distance marginals maintained by the
@@ -142,12 +156,29 @@ def greedy_diversify(
     # loop.  (Candidate pools never reach this code: they are re-indexed into
     # a dense sub-universe by the restriction layer above.)
     scaled_weights = None
-    if objective.quality.is_modular:
-        quality_scale = 1.0 if oblivious else 0.5
-        scaled_weights = quality_scale * kernels.modular_weights(objective.quality)
-        penalty = np.full(objective.n, -np.inf)
-        penalty[list(remaining)] = 0.0
-        scores = np.empty(objective.n, dtype=float)
+    if quality.is_modular:
+        scaled_weights = quality_scale * kernels.modular_weights(quality)
+        scores = np.empty(n, dtype=float)
+    else:
+        # Submodular fast path: quality gains served by the stateful batched
+        # marginal-gain protocol, distance gains by the tracker view.  With
+        # ``use_lazy`` the loop is CELF: quality gains computed in iteration
+        # one stay valid *upper bounds* afterwards (submodularity), so each
+        # later iteration re-evaluates candidates lazily in upper-bound order
+        # until the argmax is fresh — typically a handful of evaluations
+        # instead of all of ``remaining``.  The distance term is supermodular
+        # (stale values would *under*-estimate), so the upper-bound vector is
+        # rebuilt every iteration from the exact tracker marginals; only the
+        # quality term is ever stale.
+        use_lazy = lazy if lazy is not None else quality.declares_submodular
+        state = objective.make_quality_state(selected)
+        quality_gains = np.zeros(n, dtype=float)
+        eval_iteration = np.full(n, 0, dtype=np.int64)
+        margins = tracker.marginals_view()
+        selection_step = 0
+        evaluations = 0
+        evaluations_after_first = 0
+        candidates_after_first = 0
 
     while len(selected) < p and remaining:
         if scaled_weights is not None:
@@ -156,24 +187,64 @@ def greedy_diversify(
             scores += penalty
             best_element = int(np.argmax(scores))
         else:
-            best_element = None
-            best_gain = -float("inf")
-            members = frozenset(selected)
-            for u in remaining:
-                gain = marginal_of(u, members)
-                if gain > best_gain or (
-                    gain == best_gain and (best_element is None or u < best_element)
-                ):
-                    best_gain = gain
-                    best_element = u
-            assert best_element is not None
+            selection_step += 1
+            if selection_step > 1:
+                candidates_after_first += len(remaining)
+            if not use_lazy or selection_step == 1:
+                remaining_idx = np.nonzero(np.isfinite(penalty))[0]
+                quality_gains[remaining_idx] = objective.quality_gains(
+                    remaining_idx, state
+                )
+                eval_iteration[remaining_idx] = selection_step
+                evaluations += remaining_idx.size
+                if selection_step > 1:
+                    evaluations_after_first += remaining_idx.size
+            scores = quality_scale * quality_gains + objective.tradeoff * margins
+            scores += penalty
+            while True:
+                best_element = int(np.argmax(scores))
+                if eval_iteration[best_element] == selection_step:
+                    break
+                # Re-evaluate the top stale candidates in one protocol batch:
+                # the stale argmax is guaranteed to be among them (it is the
+                # global score maximum), so every round makes progress, and
+                # batching amortizes the per-call cost of tiny gains batches.
+                stale_scores = np.where(
+                    eval_iteration < selection_step, scores, -np.inf
+                )
+                if n > _LAZY_BATCH:
+                    top = np.argpartition(stale_scores, -_LAZY_BATCH)[-_LAZY_BATCH:]
+                else:
+                    top = np.arange(n)
+                top = top[np.isfinite(stale_scores[top])]
+                fresh = quality.gains(top, state)
+                quality_gains[top] = fresh
+                eval_iteration[top] = selection_step
+                evaluations += top.size
+                evaluations_after_first += top.size
+                scores[top] = (
+                    quality_scale * fresh + objective.tradeoff * margins[top]
+                )
+            quality.push(state, best_element)
         selected.add(best_element)
         order.append(best_element)
         tracker.add(best_element)
         remaining.discard(best_element)
-        if scaled_weights is not None:
-            penalty[best_element] = -np.inf
+        penalty[best_element] = -np.inf
         iterations += 1
+
+    metadata = {"start": start, "oblivious": oblivious, "p": p}
+    if scaled_weights is None:
+        metadata["celf"] = {
+            "lazy": use_lazy,
+            "quality_evaluations": evaluations,
+            "evaluations_after_first": evaluations_after_first,
+            "celf_fraction": (
+                evaluations_after_first / candidates_after_first
+                if candidates_after_first
+                else 0.0
+            ),
+        }
 
     elapsed = time.perf_counter() - started
     return build_result(
@@ -183,5 +254,5 @@ def greedy_diversify(
         algorithm=algorithm,
         iterations=iterations,
         elapsed_seconds=elapsed,
-        metadata={"start": start, "oblivious": oblivious, "p": p},
+        metadata=metadata,
     )

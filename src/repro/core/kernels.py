@@ -41,9 +41,13 @@ __all__ = [
     "set_margins",
     "pair_argmax",
     "swap_gain_matrix",
+    "swap_gain_matrix_general",
     "best_swap_scan",
+    "best_swap_scan_from_gains",
     "arrival_swap_gains",
+    "removal_gain_state",
     "swap_kernel_supported",
+    "matroid_swap_vectorized",
 ]
 
 
@@ -164,6 +168,61 @@ def swap_gain_matrix(
     return quality_gain + tradeoff * distance_gain
 
 
+def swap_gain_matrix_general(
+    quality_gain: np.ndarray,
+    matrix: np.ndarray,
+    tradeoff: float,
+    margins: np.ndarray,
+    incoming: np.ndarray,
+    outgoing: np.ndarray,
+) -> np.ndarray:
+    """Swap-gain matrix with a *precomputed* quality-gain matrix.
+
+    The submodular fast path: ``quality_gain[i, j] = f(S − outgoing[j] +
+    incoming[i]) − f(S)`` comes from the batched marginal-gain protocol
+    (one :meth:`~repro.functions.base.SetFunction.gains` batch per outgoing
+    element against the ``S − outgoing[j]`` state), and the distance part is
+    the same O(1)-per-entry identity as :func:`swap_gain_matrix`.
+    """
+    cross = matrix[np.ix_(incoming, outgoing)]
+    distance_gain = (margins[incoming][:, None] - cross) - margins[outgoing][None, :]
+    return quality_gain + tradeoff * distance_gain
+
+
+def best_swap_scan_from_gains(
+    gains: np.ndarray,
+    incoming: np.ndarray,
+    outgoing: np.ndarray,
+    *,
+    feasible: Optional[np.ndarray] = None,
+    threshold: float = 0.0,
+    first_improvement: bool = False,
+) -> Optional[Tuple[Element, Element, float]]:
+    """Select the accepted swap from a precomputed gain matrix.
+
+    Shared selection logic of the modular and submodular kernel scans: the
+    best (or, with ``first_improvement``, the first row-major) admissible
+    entry strictly exceeding ``threshold``, or ``None``.
+    """
+    if first_improvement:
+        improving = gains > threshold
+        if feasible is not None:
+            improving &= feasible
+        hits = np.argwhere(improving)
+        if hits.shape[0] == 0:
+            return None
+        i, j = hits[0]
+        return int(incoming[i]), int(outgoing[j]), float(gains[i, j])
+    if feasible is not None:
+        gains = np.where(feasible, gains, -np.inf)
+    flat = int(np.argmax(gains))
+    i, j = divmod(flat, outgoing.size)
+    best = float(gains[i, j])
+    if not best > threshold:
+        return None
+    return int(incoming[i]), int(outgoing[j]), best
+
+
 def best_swap_scan(
     weights: np.ndarray,
     matrix: np.ndarray,
@@ -188,23 +247,14 @@ def best_swap_scan(
     if incoming.size == 0 or outgoing.size == 0:
         return None
     gains = swap_gain_matrix(weights, matrix, tradeoff, margins, incoming, outgoing)
-    if first_improvement:
-        improving = gains > threshold
-        if feasible is not None:
-            improving &= feasible
-        hits = np.argwhere(improving)
-        if hits.shape[0] == 0:
-            return None
-        i, j = hits[0]
-        return int(incoming[i]), int(outgoing[j]), float(gains[i, j])
-    if feasible is not None:
-        gains = np.where(feasible, gains, -np.inf)
-    flat = int(np.argmax(gains))
-    i, j = divmod(flat, outgoing.size)
-    best = float(gains[i, j])
-    if not best > threshold:
-        return None
-    return int(incoming[i]), int(outgoing[j]), best
+    return best_swap_scan_from_gains(
+        gains,
+        incoming,
+        outgoing,
+        feasible=feasible,
+        threshold=threshold,
+        first_improvement=first_improvement,
+    )
 
 
 def arrival_swap_gains(
@@ -227,16 +277,42 @@ def arrival_swap_gains(
     return (weights[element] - weights[sel]) + tradeoff * ((d_new - row) - internal)
 
 
-def swap_kernel_supported(objective, matroid: Matroid) -> bool:
-    """Whether the best-swap scan can run vectorized for this pairing.
+def removal_gain_state(quality: SetFunction, selected: Iterable[Element],
+                       outgoing: Element):
+    """Gain state for ``S − outgoing`` plus the base gain ``f_v(S − v)``.
 
-    True when the metric is matrix-backed, the quality modular, and the
-    matroid family implements the closed-form
-    :meth:`~repro.matroids.base.Matroid.swap_feasibility` rule.
+    The one identity behind every protocol-backed swap evaluation (local
+    search scans, streaming arrivals):
+
+    ``f(S − v + u) − f(S) = f_u(S − v) − f_v(S − v) = gains(u, state) − base``
+
+    so callers get the quality part of any swap against ``outgoing`` from a
+    single batched-gains call.  Returns ``(state, base)``.
     """
-    if matrix_fast_path(objective) is None:
-        return False
+    state = quality.gain_state(set(selected) - {outgoing})
+    base = float(quality.gains((outgoing,), state)[0])
+    return state, base
+
+
+def matroid_swap_vectorized(matroid: Matroid) -> bool:
+    """Whether the matroid family implements the closed-form
+    :meth:`~repro.matroids.base.Matroid.swap_feasibility` rule the vectorized
+    swap scans mask with."""
     probe = matroid.swap_feasibility(
         frozenset(), np.zeros(0, dtype=int), np.zeros(0, dtype=int)
     )
     return probe is not None
+
+
+def swap_kernel_supported(objective, matroid: Matroid) -> bool:
+    """Whether the *modular* best-swap scan can run vectorized for this pairing.
+
+    True when the metric is matrix-backed, the quality modular, and the
+    matroid family implements the closed-form feasibility rule.  Non-modular
+    quality on a matrix-backed metric takes the submodular kernel scan in
+    :mod:`repro.core.local_search` instead (quality gains batched through the
+    marginal-gain protocol rather than read from a weight vector).
+    """
+    if matrix_fast_path(objective) is None:
+        return False
+    return matroid_swap_vectorized(matroid)

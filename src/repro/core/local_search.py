@@ -132,16 +132,33 @@ def _scan_swaps_reference(
     ``φ(S − v + u) − φ(S) = [f(S − v + u) − f(S)] + λ·[(d_u(S) − d(u, v)) − d_v(S)]``
 
     For modular quality the bracketed quality term is ``w(u) − w(v)``, making
-    every candidate swap O(1); for general submodular quality it costs two
-    value-oracle calls.  Returns ``(incoming, outgoing, gain)`` with
-    ``gain > threshold``, or ``None``.  ``weights`` may be passed by callers
-    that already hold the modular weight vector (it is recomputed otherwise).
+    every candidate swap O(1); for general submodular quality it is one
+    single-candidate batched-gains call against a per-outgoing removal state
+    cached for the scan (see the marginal-gain protocol in
+    :mod:`repro.functions.base`).  Returns ``(incoming, outgoing, gain)``
+    with ``gain > threshold``, or ``None``.  ``weights`` may be passed by
+    callers that already hold the modular weight vector (it is recomputed
+    otherwise).
     """
     quality = objective.quality
     metric = objective.metric
     lam = objective.tradeoff
     if weights is None:
         weights = kernels.modular_weights(quality)
+    # For non-modular quality, the f(S − v + u) − f(S) term of every swap
+    # against the same outgoing v is served by one gain state for S − v
+    # (built lazily on first use, cached for the whole scan):
+    # f(S − v + u) − f(S) = f_u(S − v) − f_v(S − v), one single-candidate
+    # gains call per swap instead of two full value-oracle evaluations.
+    removal_states: dict = {}
+
+    def removal_state(outgoing: Element):
+        cached = removal_states.get(outgoing)
+        if cached is None:
+            cached = kernels.removal_gain_state(quality, selected, outgoing)
+            removal_states[outgoing] = cached
+        return cached
+
     best_move: Optional[Tuple[Element, Element]] = None
     best_gain = threshold
     stop_scan = False
@@ -158,10 +175,8 @@ def _scan_swaps_reference(
             if weights is not None:
                 quality_gain = float(weights[incoming] - weights[outgoing])
             else:
-                without = frozenset(selected - {outgoing})
-                quality_gain = quality.value(without | {incoming}) - quality.value(
-                    selected
-                )
+                state, base = removal_state(outgoing)
+                quality_gain = float(quality.gains((incoming,), state)[0]) - base
             gain = quality_gain + lam * distance_gain
             if gain > best_gain:
                 best_gain = gain
@@ -209,6 +224,63 @@ def _scan_swaps_vectorized(
     )
 
 
+def _swap_quality_gains(
+    quality, selected: Set[Element], inside: np.ndarray, outside: np.ndarray
+) -> np.ndarray:
+    """Quality-gain matrix ``Q[i, j] = f(S − inside[j] + outside[i]) − f(S)``.
+
+    One removal state per outgoing element, each answering the gains of
+    *every* incoming candidate in a single batch:
+    ``Q[:, j] = f_·(S − v_j) − f_{v_j}(S − v_j)``.
+    """
+    gains = np.empty((outside.size, inside.size), dtype=float)
+    for j, outgoing in enumerate(inside):
+        state, base = kernels.removal_gain_state(quality, selected, int(outgoing))
+        gains[:, j] = quality.gains(outside, state) - base
+    return gains
+
+
+def _scan_swaps_submodular(
+    objective: Objective,
+    matroid: Matroid,
+    selected: Set[Element],
+    tracker,
+    threshold: float,
+    matrix: np.ndarray,
+    *,
+    first_improvement: bool = False,
+) -> Optional[Tuple[Element, Element, float]]:
+    """One kernel-based best-swap scan for *non-modular* quality.
+
+    The distance part is the same masked gain-matrix argmax as the modular
+    kernel scan; the quality part comes from the batched marginal-gain
+    protocol (:func:`_swap_quality_gains`) instead of a weight vector —
+    O(p) states and O(p) gains batches per scan instead of O(n·p)
+    value-oracle evaluations.
+    """
+    inside, outside = kernels.solution_split(objective.n, selected)
+    if inside.size == 0 or outside.size == 0:
+        return None
+    feasible = matroid.swap_feasibility(selected, outside, inside)
+    quality_gain = _swap_quality_gains(objective.quality, selected, inside, outside)
+    gains = kernels.swap_gain_matrix_general(
+        quality_gain,
+        matrix,
+        objective.tradeoff,
+        tracker.marginals_view(),
+        outside,
+        inside,
+    )
+    return kernels.best_swap_scan_from_gains(
+        gains,
+        outside,
+        inside,
+        feasible=feasible,
+        threshold=threshold,
+        first_improvement=first_improvement,
+    )
+
+
 def _run_swaps(
     objective: Objective,
     matroid: Matroid,
@@ -219,11 +291,13 @@ def _run_swaps(
 ) -> int:
     """Perform improving swaps in place; return the number of swaps accepted.
 
-    Each iteration runs one best-swap scan: the vectorized kernel scan when
-    the metric is matrix-backed, the quality modular and the matroid family
-    has a closed-form feasibility rule, and the loop-based reference scan
-    otherwise.  Both scans accept only swaps strictly better than the
-    ε-threshold of :class:`LocalSearchConfig`.
+    Each iteration runs one best-swap scan: the modular kernel scan when the
+    metric is matrix-backed, the quality modular and the matroid family has a
+    closed-form feasibility rule; the submodular kernel scan (quality gains
+    batched through the marginal-gain protocol) when the metric is
+    matrix-backed and the quality is *not* modular; and the loop-based
+    reference scan otherwise.  All scans accept only swaps strictly better
+    than the ε-threshold of :class:`LocalSearchConfig`.
     """
     swaps = 0
     tracker = objective.make_tracker(selected)
@@ -231,6 +305,13 @@ def _run_swaps(
 
     fast = kernels.matrix_fast_path(objective)
     use_kernel = fast is not None and kernels.swap_kernel_supported(objective, matroid)
+    matrix_view = objective.metric.matrix_view()
+    use_submodular_kernel = (
+        not use_kernel
+        and matrix_view is not None
+        and not objective.quality.is_modular
+        and kernels.matroid_swap_vectorized(matroid)
+    )
     reference_weights = None if use_kernel else kernels.modular_weights(objective.quality)
 
     def out_of_time() -> bool:
@@ -255,6 +336,16 @@ def _run_swaps(
                 threshold,
                 weights,
                 matrix,
+                first_improvement=config.first_improvement,
+            )
+        elif use_submodular_kernel:
+            move = _scan_swaps_submodular(
+                objective,
+                matroid,
+                selected,
+                tracker,
+                threshold,
+                matrix_view,
                 first_improvement=config.first_improvement,
             )
         else:

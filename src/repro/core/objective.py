@@ -19,9 +19,11 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
+import numpy as np
+
 from repro._types import Element
 from repro.exceptions import InvalidParameterError
-from repro.functions.base import SetFunction
+from repro.functions.base import Candidates, GainState, SetFunction
 from repro.metrics.aggregates import (
     MarginalDistanceTracker,
     marginal_distance,
@@ -137,6 +139,24 @@ class Objective:
             0.5 * self._quality.marginal(element, members)
             + self._tradeoff * distance_gain
         )
+
+    # ------------------------------------------------------------------
+    # Batched marginal gains (the submodular fast path)
+    # ------------------------------------------------------------------
+    def make_quality_state(
+        self, initial: Optional[Iterable[Element]] = None
+    ) -> GainState:
+        """Incremental gain state for the quality term (see ``SetFunction.gain_state``)."""
+        return self._quality.gain_state(initial if initial is not None else ())
+
+    def quality_gains(self, candidates: Candidates, state: GainState) -> np.ndarray:
+        """Batched quality marginals ``[f_u(S)]`` against ``state``'s set.
+
+        The quality-side counterpart of reading the tracker's marginal view
+        for the distance term; the greedy fast path combines the two into
+        ``scale·f_u(S) + λ·d_u(S)`` itself.
+        """
+        return self._quality.gains(candidates, state)
 
     def swap_gain(
         self, subset: Iterable[Element], incoming: Element, outgoing: Element

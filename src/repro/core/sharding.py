@@ -52,7 +52,10 @@ __all__ = ["shard_pool", "solve_sharded"]
 #: Shard-stage algorithms that run efficiently on a *lazy* sub-metric (their
 #: hot loops only need rows, which feature metrics answer in O(k·d)).  Every
 #: other algorithm wants the shard's distance block materialized so the
-#: vectorized kernels apply.
+#: vectorized kernels apply.  Submodular quality keeps shard solves fast on
+#: either tier: the restriction layer's quality views compose their parent's
+#: batched marginal-gain states, so each per-shard greedy runs the CELF fast
+#: path instead of a per-candidate oracle loop.
 _LAZY_FRIENDLY_ALGORITHMS = frozenset({"auto", "greedy", "mmr"})
 
 _EXECUTORS = ("thread", "process")
@@ -311,11 +314,24 @@ def solve_sharded(
     shard_watch = Stopwatch()
     weights_view = getattr(objective.quality, "weights_view", None)
     array_backed = weights_view is not None and weights_view() is not None
+    # Thread-pooled shard maps need every oracle touched by a worker to be a
+    # pure read of immutable NumPy state: the metric must declare itself
+    # parallel-safe, and the quality must either expose an array weight view
+    # (modular families) or declare `parallel_safe` itself (the built-in
+    # submodular families, whose gains/gain-state protocol reads only the
+    # immutable similarity/kernel arrays — per-shard states live inside each
+    # worker's solve).
     use_pool = (
         max_workers is not None
         and max_workers > 1
         and len(payloads) > 1
-        and (executor == "process" or (metric.parallel_safe and array_backed))
+        and (
+            executor == "process"
+            or (
+                metric.parallel_safe
+                and (array_backed or objective.quality.parallel_safe)
+            )
+        )
     )
     if use_pool:
         from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor

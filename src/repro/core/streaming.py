@@ -17,13 +17,25 @@ on it:
 Only the current solution and the arriving element are ever inspected, so the
 memory footprint is O(p) plus the distance/quality oracles, and each arrival
 costs O(p) marginal evaluations.
+
+Two fast paths serve the arrival rule.  With a matrix-backed metric and
+modular quality, all ``p`` candidate swaps are one O(p²) submatrix kernel
+(:func:`repro.core.kernels.arrival_swap_gains`).  Otherwise the quality side
+runs on the stateful batched marginal-gain protocol: one removal state per
+solution member (``f(S − v + e) − f(S) = f_e(S − v) − f_v(S − v)``), built
+lazily and reused across arrivals until the solution changes, plus a
+maintained vector of internal distance marginals — so an arrival costs O(p)
+single-candidate gains calls instead of 2·p value-oracle evaluations with
+their O(p²) dispersion recomputations.  (The removal states add O(state)
+memory per member — e.g. O(n) for facility location — traded for the
+per-arrival oracle work.)
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -32,6 +44,7 @@ from repro.core import kernels
 from repro.core.objective import Objective
 from repro.core.result import SolverResult, build_result
 from repro.exceptions import InvalidParameterError
+from repro.functions.base import GainState
 
 
 @dataclass
@@ -60,6 +73,15 @@ class StreamingDiversifier:
     _arrivals: int = field(default=0, init=False, repr=False)
     _swaps: int = field(default=0, init=False, repr=False)
     _fast: Optional[tuple] = field(default=None, init=False, repr=False)
+    # Protocol-path state (non-kernel instances), all maintained lazily and
+    # invalidated when the solution changes:
+    _qstate: Optional[GainState] = field(default=None, init=False, repr=False)
+    _removal: Dict[Element, Tuple[GainState, float]] = field(
+        default_factory=dict, init=False, repr=False
+    )
+    _margins: Optional[Dict[Element, float]] = field(
+        default=None, init=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.p < 1:
@@ -96,6 +118,55 @@ class StreamingDiversifier:
         return self._swaps
 
     # ------------------------------------------------------------------
+    # Protocol-path helpers (lazy, invalidated on solution changes)
+    # ------------------------------------------------------------------
+    def _distance_row(self, element: Element) -> np.ndarray:
+        """Distances from ``element`` to the current solution, in list order."""
+        matrix = self.objective.metric.matrix_view()
+        if matrix is not None:
+            return np.asarray(
+                matrix[element, np.asarray(self._selected, dtype=int)], dtype=float
+            )
+        return self.objective.metric.distances_from(element, self._selected)
+
+    def _ensure_qstate(self) -> GainState:
+        if self._qstate is None:
+            self._qstate = self.objective.make_quality_state(self._selected)
+        return self._qstate
+
+    def _ensure_margins(self) -> Dict[Element, float]:
+        if self._margins is None:
+            self._margins = {
+                v: float(self._distance_row(v).sum()) for v in self._selected
+            }
+        return self._margins
+
+    def _ensure_removal_states(self) -> Dict[Element, Tuple[GainState, float]]:
+        if not self._removal:
+            quality = self.objective.quality
+            for outgoing in self._selected:
+                self._removal[outgoing] = kernels.removal_gain_state(
+                    quality, self._selected, outgoing
+                )
+        return self._removal
+
+    def _append(self, element: Element, row: Optional[np.ndarray]) -> None:
+        """Grow the solution, updating the maintained state incrementally."""
+        if self._qstate is not None:
+            self.objective.quality.push(self._qstate, element)
+        if self._margins is not None and row is not None:
+            for i, member in enumerate(self._selected):
+                self._margins[member] += float(row[i])
+            self._margins[element] = float(row.sum())
+        self._selected.append(element)
+        self._removal.clear()
+
+    def _invalidate(self) -> None:
+        self._qstate = None
+        self._margins = None
+        self._removal.clear()
+
+    # ------------------------------------------------------------------
     # Stream processing
     # ------------------------------------------------------------------
     def process(self, element: Element) -> bool:
@@ -107,10 +178,16 @@ class StreamingDiversifier:
         self._arrivals += 1
         if element in self._selected:
             return False
-        members = frozenset(self._selected)
         if len(self._selected) < self.p:
-            gain = self.objective.marginal(element, members)
-            self._selected.append(element)
+            if self._fast is None:
+                row = self._distance_row(element)
+                gain = float(
+                    self.objective.quality.gains((element,), self._ensure_qstate())[0]
+                ) + self.objective.tradeoff * float(row.sum())
+            else:
+                row = None
+                gain = self.objective.marginal(element, frozenset(self._selected))
+            self._append(element, row)
             self._value += gain
             return True
         # Full: find the best single replacement for the arriving element.
@@ -127,8 +204,21 @@ class StreamingDiversifier:
                 best_gain = float(gains[best_idx])
                 best_outgoing = self._selected[best_idx]
         else:
-            for outgoing in self._selected:
-                gain = self.objective.swap_gain(members, element, outgoing)
+            # Protocol path: quality side from the cached removal states
+            # (f_e(S − v) − f_v(S − v)), distance side from the arriving
+            # row and the maintained internal marginals — O(p) gains calls
+            # per arrival, no value-oracle or O(p²) dispersion recompute.
+            quality = self.objective.quality
+            tradeoff = self.objective.tradeoff
+            row = self._distance_row(element)
+            arriving_total = float(row.sum())
+            margins = self._ensure_margins()
+            removal = self._ensure_removal_states()
+            for i, outgoing in enumerate(self._selected):
+                state, base = removal[outgoing]
+                quality_gain = float(quality.gains((element,), state)[0]) - base
+                distance_gain = (arriving_total - float(row[i])) - margins[outgoing]
+                gain = quality_gain + tradeoff * distance_gain
                 if gain > best_gain:
                     best_gain = gain
                     best_outgoing = outgoing
@@ -136,6 +226,7 @@ class StreamingDiversifier:
             return False
         self._selected.remove(best_outgoing)
         self._selected.append(element)
+        self._invalidate()
         self._value += best_gain
         self._swaps += 1
         return True

@@ -7,7 +7,7 @@ update section, several genuinely submodular families used by the examples
 and the submodular benches, and verification utilities.
 """
 
-from repro.functions.base import SetFunction
+from repro.functions.base import GainState, SetFunction
 from repro.functions.coverage import CoverageFunction
 from repro.functions.facility_location import FacilityLocationFunction
 from repro.functions.log_det import LogDeterminantFunction
@@ -29,6 +29,7 @@ from repro.functions.weakly_submodular import (
 
 __all__ = [
     "SetFunction",
+    "GainState",
     "ModularFunction",
     "ZeroFunction",
     "CoverageFunction",

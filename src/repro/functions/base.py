@@ -1,16 +1,71 @@
 """Abstract set-valuation function.
 
-Algorithms access quality functions only through :meth:`SetFunction.value`
-and :meth:`SetFunction.marginal` — exactly the value oracle the paper assumes
-("access to an oracle for finding an element maximizing f(S+u) - f(S)").
+Algorithms access quality functions through :meth:`SetFunction.value` and
+:meth:`SetFunction.marginal` — exactly the value oracle the paper assumes
+("access to an oracle for finding an element maximizing f(S+u) - f(S)") —
+plus the *stateful batched marginal-gain protocol* the solvers' fast paths
+use: :meth:`SetFunction.gain_state` builds incremental state for a subset,
+:meth:`SetFunction.gains` evaluates the marginals of a whole candidate batch
+against that state at once, and :meth:`SetFunction.push` grows the state by
+one selected element without recomputing it from scratch.  The base-class
+protocol falls back to per-candidate :meth:`marginal` loops, so any oracle
+function keeps working; the built-in families override it with vectorized
+incremental implementations (see the README's "Submodular fast path").
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import FrozenSet, Iterable
+from typing import FrozenSet, Iterable, Sequence, Union
+
+import numpy as np
 
 from repro._types import Element
+
+
+class GainState:
+    """Mutable incremental state for the batched marginal-gain protocol.
+
+    The base state only tracks the member set; family-specific subclasses add
+    the vectors that make :meth:`SetFunction.gains` a batch array operation
+    (a facility-location coverage vector, a coverage bitmask, a growing
+    Cholesky factor, ...).  States are owned by exactly one selection run:
+    they are mutated in place by :meth:`SetFunction.push` and must not be
+    shared across concurrent solves.
+    """
+
+    __slots__ = ("members",)
+
+    def __init__(self, subset: Iterable[Element] = ()) -> None:
+        self.members = set(subset)
+
+    def member_indices(self) -> np.ndarray:
+        """The current members as an (unordered) integer index array."""
+        return np.fromiter(self.members, dtype=int, count=len(self.members))
+
+    def mask_members(self, candidates: np.ndarray, gains: np.ndarray) -> np.ndarray:
+        """Zero the gains of candidates already in the set (in place).
+
+        Marginals of members are 0 by definition of set union; incremental
+        formulas that would report something else route through this helper
+        so every implementation agrees with :meth:`SetFunction.marginal`.
+        """
+        if not self.members or candidates.size == 0:
+            return gains
+        if candidates.size <= 16:
+            # Small batches (the CELF re-evaluation path) are dominated by
+            # call overhead; python set membership beats np.isin there.
+            members = self.members
+            for i, u in enumerate(candidates.tolist()):
+                if u in members:
+                    gains[i] = 0.0
+            return gains
+        gains[np.isin(candidates, self.member_indices())] = 0.0
+        return gains
+
+
+#: What :meth:`SetFunction.gains` accepts as a candidate batch.
+Candidates = Union[Sequence[Element], np.ndarray]
 
 
 class SetFunction(ABC):
@@ -42,6 +97,53 @@ class SetFunction(ABC):
         return self.value(base | {element}) - self.value(base)
 
     # ------------------------------------------------------------------
+    # Stateful batched marginal gains (the solvers' fast-path protocol)
+    # ------------------------------------------------------------------
+    def gain_state(self, subset: Iterable[Element] = ()) -> GainState:
+        """Build incremental marginal-gain state for ``subset``.
+
+        The returned state answers :meth:`gains` queries for the *current*
+        set and is grown one element at a time with :meth:`push`.  The base
+        implementation stores only the member set (so :meth:`gains` falls
+        back to a :meth:`marginal` loop); concrete families override it to
+        precompute the vectors their batched gains read.
+        """
+        return GainState(subset)
+
+    def gains(self, candidates: Candidates, state: GainState) -> np.ndarray:
+        """Return ``[f_u(S) for u in candidates]`` against ``state``'s set.
+
+        Candidates already in the set get 0.0, matching :meth:`marginal`.
+        The base implementation loops :meth:`marginal`; overrides compute the
+        whole batch as one array operation (``O(n·|C|)`` or better instead of
+        ``|C|`` scratch evaluations).  The result is a fresh array the caller
+        owns, aligned with ``candidates``.
+        """
+        idx = np.asarray(candidates, dtype=int)
+        members = frozenset(state.members)
+        out = np.empty(idx.size, dtype=float)
+        for i, u in enumerate(idx):
+            out[i] = self.marginal(int(u), members)
+        return out
+
+    def push(self, state: GainState, element: Element) -> GainState:
+        """Add ``element`` to the state's set, updating it incrementally.
+
+        Mutates ``state`` in place and returns it.  Raises if the element is
+        already a member (mirroring the distance tracker's contract), so the
+        fast paths cannot silently double-push.  Overrides must call
+        ``super().push(state, element)`` first to keep the member set in sync.
+        """
+        if element in state.members:
+            from repro.exceptions import InvalidParameterError
+
+            raise InvalidParameterError(
+                f"element {element} is already in the gain state"
+            )
+        state.members.add(element)
+        return state
+
+    # ------------------------------------------------------------------
     # Declared structure (used by solvers to pick valid algorithms and by
     # the verification utilities to know what to check).
     # ------------------------------------------------------------------
@@ -59,6 +161,18 @@ class SetFunction(ABC):
     def declares_monotone(self) -> bool:
         """Whether the family is monotone by construction.  Default: ``True``."""
         return True
+
+    @property
+    def parallel_safe(self) -> bool:
+        """Whether concurrent reads from multiple threads are safe.
+
+        Mirrors :attr:`repro.metrics.base.Metric.parallel_safe`: ``True`` only
+        when every oracle and gains evaluation is a pure read of immutable
+        NumPy state, which is what the thread-pooled shard map in
+        :mod:`repro.core.sharding` requires.  Arbitrary user oracles make no
+        such promise, so the base default is ``False``.
+        """
+        return False
 
     # ------------------------------------------------------------------
     # Restriction (sub-universe views)

@@ -8,12 +8,23 @@ many query aspects, the scenario the paper's introduction motivates
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Sequence, Set
+from typing import Dict, Iterable, List, Mapping, Sequence, Set
 
+import numpy as np
 
 from repro._types import Element
 from repro.exceptions import InvalidParameterError
-from repro.functions.base import SetFunction
+from repro.functions.base import Candidates, GainState, SetFunction
+
+#: Largest ``n × num_topics`` incidence matrix (in entries) the batched-gains
+#: path will materialize; bigger instances use the per-candidate index path.
+_INCIDENCE_LIMIT = 64_000_000
+
+
+class _CoverageGainState(GainState):
+    """Boolean mask over dense topic ids: ``covered[t]`` iff some member has t."""
+
+    __slots__ = ("covered",)
 
 
 class CoverageFunction(SetFunction):
@@ -40,6 +51,37 @@ class CoverageFunction(SetFunction):
             if value < 0:
                 raise InvalidParameterError("topic weights must be non-negative")
         self._weights = weights
+        # Dense re-indexing of the (arbitrary) topic identifiers, backing the
+        # batched-gains path: topic id -> position in [0, T), per-topic weight
+        # array, and per-element dense-index arrays.
+        # First-seen dedupe, not sorted(): topic ids are arbitrary hashables
+        # and need not be mutually orderable.  Gains are weight sums, so the
+        # internal index assignment order never affects results.
+        topic_ids = list(
+            dict.fromkeys(t for topics in self._topics for t in topics)
+        )
+        topic_index = {t: i for i, t in enumerate(topic_ids)}
+        self._topic_weight_array = np.array(
+            [self._weight(t) for t in topic_ids], dtype=float
+        )
+        self._element_topic_idx: List[np.ndarray] = [
+            np.fromiter(
+                sorted(topic_index[t] for t in topics), dtype=int, count=len(topics)
+            )
+            for topics in self._topics
+        ]
+        self._num_topic_ids = len(topic_ids)
+        # Dense element×topic incidence (capped so pathological topic
+        # universes do not explode memory; ``None`` beyond the cap and the
+        # per-candidate index path serves gains instead).  Built eagerly so
+        # ``gains`` is a pure read — the ``parallel_safe`` contract.
+        if self.n * self._num_topic_ids <= _INCIDENCE_LIMIT:
+            incidence = np.zeros((self.n, self._num_topic_ids), dtype=bool)
+            for element, topic_idx in enumerate(self._element_topic_idx):
+                incidence[element, topic_idx] = True
+            self._incidence: np.ndarray | None = incidence
+        else:
+            self._incidence = None
 
     @property
     def n(self) -> int:
@@ -69,6 +111,44 @@ class CoverageFunction(SetFunction):
         covered = self.covered_topics(members)
         gained = self._topics[element] - covered
         return float(sum(self._weight(t) for t in gained))
+
+    # ------------------------------------------------------------------
+    # Batched marginal-gain protocol
+    # ------------------------------------------------------------------
+    def gain_state(self, subset=()) -> _CoverageGainState:
+        """O(Σ|topics|) state build: the covered-topic mask of the subset."""
+        state = _CoverageGainState(subset)
+        covered = np.zeros(self._num_topic_ids, dtype=bool)
+        for element in state.members:
+            covered[self._element_topic_idx[element]] = True
+        state.covered = covered
+        return state
+
+    def gains(self, candidates: Candidates, state: _CoverageGainState) -> np.ndarray:
+        """Batch gains: uncovered-incidence × weights (one masked matvec)."""
+        idx = np.asarray(candidates, dtype=int)
+        if idx.size == 0:
+            return np.zeros(0, dtype=float)
+        incidence = self._incidence
+        if incidence is not None:
+            fresh = incidence[idx] & ~state.covered[None, :]
+            return fresh.astype(float) @ self._topic_weight_array
+        out = np.empty(idx.size, dtype=float)
+        weights, covered = self._topic_weight_array, state.covered
+        for i, u in enumerate(idx):
+            topic_idx = self._element_topic_idx[u]
+            out[i] = weights[topic_idx[~covered[topic_idx]]].sum()
+        return out
+
+    def push(self, state: _CoverageGainState, element: Element) -> _CoverageGainState:
+        """O(|topics(element)|) incremental update of the covered mask."""
+        super().push(state, element)
+        state.covered[self._element_topic_idx[element]] = True
+        return state
+
+    @property
+    def parallel_safe(self) -> bool:
+        return True
 
     @classmethod
     def random(

@@ -14,7 +14,16 @@ import numpy as np
 
 from repro._types import Element
 from repro.exceptions import InvalidParameterError
-from repro.functions.base import SetFunction
+from repro.functions.base import Candidates, GainState, SetFunction
+
+#: Column-chunk width for batched gains, bounding the ``n × |C|`` temporary.
+_GAINS_CHUNK = 512
+
+
+class _FacilityGainState(GainState):
+    """Running coverage vector ``coverage[i] = max_{j ∈ S} sim(i, j)``."""
+
+    __slots__ = ("coverage",)
 
 
 class FacilityLocationFunction(SetFunction):
@@ -50,6 +59,43 @@ class FacilityLocationFunction(SetFunction):
             current = self._similarity[:, idx].max(axis=1)
         improved = np.maximum(current, self._similarity[:, element])
         return float((improved - current).sum())
+
+    # ------------------------------------------------------------------
+    # Batched marginal-gain protocol
+    # ------------------------------------------------------------------
+    def gain_state(self, subset=()) -> _FacilityGainState:
+        """O(n·|S|) state build: the coverage vector of the current set."""
+        state = _FacilityGainState(subset)
+        if state.members:
+            idx = state.member_indices()
+            state.coverage = self._similarity[:, idx].max(axis=1)
+        else:
+            state.coverage = np.zeros(self.n)
+        return state
+
+    def gains(self, candidates: Candidates, state: _FacilityGainState) -> np.ndarray:
+        """Batch gains as one ``np.maximum`` + column sums per chunk."""
+        idx = np.asarray(candidates, dtype=int)
+        if idx.size == 0:
+            return np.zeros(0, dtype=float)
+        coverage = state.coverage
+        base = coverage.sum()
+        out = np.empty(idx.size, dtype=float)
+        for start in range(0, idx.size, _GAINS_CHUNK):
+            chunk = idx[start : start + _GAINS_CHUNK]
+            improved = np.maximum(self._similarity[:, chunk], coverage[:, None])
+            out[start : start + _GAINS_CHUNK] = improved.sum(axis=0) - base
+        return state.mask_members(idx, out)
+
+    def push(self, state: _FacilityGainState, element: Element) -> _FacilityGainState:
+        """O(n) incremental update of the coverage vector."""
+        super().push(state, element)
+        np.maximum(state.coverage, self._similarity[:, element], out=state.coverage)
+        return state
+
+    @property
+    def parallel_safe(self) -> bool:
+        return True
 
     @classmethod
     def from_distances(cls, distances: np.ndarray, *, scale: float | None = None

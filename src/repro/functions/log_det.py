@@ -5,9 +5,18 @@ monotone and submodular; it rewards selecting elements whose kernel rows are
 close to orthogonal and is a standard informativeness objective in sensor
 placement and determinantal-point-process style selection.  Included as an
 additional genuinely submodular workload for the submodular-quality benches.
+
+The batched marginal-gain protocol keeps an incrementally grown Cholesky
+factor ``L`` of ``(1 + jitter)·I + K_{S,S}`` together with the residual
+vector ``r[u] = (1 + jitter) + K_uu − ‖L⁻¹ K_{S,u}‖²`` over the whole
+universe, so a batch of marginals is one ``log`` over a slice
+(``f_u(S) = log r[u]``) and a push is one O(|S|·n) rank-1 update — no
+per-candidate ``slogdet`` anywhere on the fast path.
 """
 
 from __future__ import annotations
+
+import math
 
 from typing import Iterable
 
@@ -15,21 +24,53 @@ import numpy as np
 
 from repro._types import Element
 from repro.exceptions import InvalidParameterError
-from repro.functions.base import SetFunction
+from repro.functions.base import Candidates, GainState, SetFunction
+
+#: Slack added to the diagonal before the PSD Cholesky probe, matching the
+#: old ``eigvalsh`` check's tolerance (minimum eigenvalue ≥ -1e-6).
+_PSD_TOLERANCE = 1e-6
+
+
+class _LogDetGainState(GainState):
+    """Growing Cholesky rows ``L⁻¹ K_{S,·}`` plus the universe residual vector."""
+
+    __slots__ = ("rows", "residual")
 
 
 class LogDeterminantFunction(SetFunction):
-    """``f(S) = log det(I_{|S|} + K[S, S])`` for a PSD kernel ``K``."""
+    """``f(S) = log det(I_{|S|} + K[S, S])`` for a PSD kernel ``K``.
 
-    def __init__(self, kernel: np.ndarray, *, jitter: float = 1e-10) -> None:
+    Parameters
+    ----------
+    kernel:
+        Symmetric positive semi-definite ``n × n`` kernel matrix.
+    jitter:
+        Diagonal regularizer added inside the determinant for numerical
+        stability.
+    validate:
+        Whether to verify positive semi-definiteness at construction.  The
+        check is one Cholesky factorization of ``K + 1e-6·I`` — an order of
+        magnitude cheaper than the eigendecomposition it replaced, and it
+        fails fast on indefinite input.  Pass ``False`` to skip it entirely
+        when the kernel is PSD by construction (e.g. a Gram matrix).
+    """
+
+    def __init__(
+        self, kernel: np.ndarray, *, jitter: float = 1e-10, validate: bool = True
+    ) -> None:
         matrix = np.asarray(kernel, dtype=float)
         if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
             raise InvalidParameterError("kernel must be a square matrix")
         if not np.allclose(matrix, matrix.T, atol=1e-8):
             raise InvalidParameterError("kernel must be symmetric")
-        eigenvalues = np.linalg.eigvalsh(matrix)
-        if eigenvalues.min() < -1e-6:
-            raise InvalidParameterError("kernel must be positive semi-definite")
+        if validate and matrix.shape[0]:
+            shifted = matrix + _PSD_TOLERANCE * np.eye(matrix.shape[0])
+            try:
+                np.linalg.cholesky(shifted)
+            except np.linalg.LinAlgError:
+                raise InvalidParameterError(
+                    "kernel must be positive semi-definite"
+                ) from None
         self._kernel = matrix
         self._jitter = float(jitter)
 
@@ -49,6 +90,47 @@ class LogDeterminantFunction(SetFunction):
             raise InvalidParameterError("kernel block is not positive definite")
         return float(logdet)
 
+    # ------------------------------------------------------------------
+    # Batched marginal-gain protocol
+    # ------------------------------------------------------------------
+    def gain_state(self, subset=()) -> _LogDetGainState:
+        """Build the Cholesky/residual state by pushing the subset in order."""
+        state = _LogDetGainState(())
+        state.rows = []
+        state.residual = self._kernel.diagonal() + (1.0 + self._jitter)
+        for element in sorted(set(subset)):
+            self.push(state, element)
+        return state
+
+    def gains(self, candidates: Candidates, state: _LogDetGainState) -> np.ndarray:
+        """Batch marginals as ``log`` of a residual slice — no ``slogdet``."""
+        idx = np.asarray(candidates, dtype=int)
+        if idx.size == 0:
+            return np.zeros(0, dtype=float)
+        residual = np.maximum(state.residual[idx], np.finfo(float).tiny)
+        return state.mask_members(idx, np.log(residual))
+
+    def push(self, state: _LogDetGainState, element: Element) -> _LogDetGainState:
+        """O(|S|·n) rank-1 growth of the Cholesky factor and residuals."""
+        super().push(state, element)
+        pivot_squared = float(state.residual[element])
+        if pivot_squared <= 0.0:  # pragma: no cover - degenerate kernels
+            state.members.discard(element)
+            raise InvalidParameterError(
+                f"element {element} makes the kernel block numerically singular"
+            )
+        projection = self._kernel[element].astype(float, copy=True)
+        for row in state.rows:
+            projection -= row[element] * row
+        row = projection / math.sqrt(pivot_squared)
+        state.rows.append(row)
+        state.residual = state.residual - row * row
+        return state
+
+    @property
+    def parallel_safe(self) -> bool:
+        return True
+
     @classmethod
     def from_features(cls, features: np.ndarray, *, bandwidth: float = 1.0
                       ) -> "LogDeterminantFunction":
@@ -58,4 +140,4 @@ class LogDeterminantFunction(SetFunction):
             raise InvalidParameterError("bandwidth must be positive")
         diff = array[:, None, :] - array[None, :, :]
         squared = np.sum(diff * diff, axis=-1)
-        return cls(np.exp(-squared / (2.0 * bandwidth**2)))
+        return cls(np.exp(-squared / (2.0 * bandwidth**2)), validate=False)

@@ -8,11 +8,19 @@ objective) while staying inside the class Theorem 1 covers.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, List, Sequence
+
+import numpy as np
 
 from repro._types import Element
 from repro.exceptions import InvalidParameterError
-from repro.functions.base import SetFunction
+from repro.functions.base import Candidates, GainState, SetFunction
+
+
+class _CompositeGainState(GainState):
+    """Child gain states, one per component, kept in component order."""
+
+    __slots__ = ("children",)
 
 
 class ScaledFunction(SetFunction):
@@ -39,9 +47,34 @@ class ScaledFunction(SetFunction):
     def marginal(self, element: Element, subset: Iterable[Element]) -> float:
         return self._scale * self._function.marginal(element, subset)
 
+    def gain_state(self, subset=()) -> _CompositeGainState:
+        state = _CompositeGainState(subset)
+        state.children = [self._function.gain_state(state.members)]
+        return state
+
+    def gains(self, candidates: Candidates, state: _CompositeGainState) -> np.ndarray:
+        return self._scale * self._function.gains(candidates, state.children[0])
+
+    def push(self, state: _CompositeGainState, element: Element) -> _CompositeGainState:
+        super().push(state, element)
+        self._function.push(state.children[0], element)
+        return state
+
     @property
     def is_modular(self) -> bool:
         return self._function.is_modular
+
+    @property
+    def declares_submodular(self) -> bool:
+        return self._function.declares_submodular
+
+    @property
+    def declares_monotone(self) -> bool:
+        return self._function.declares_monotone
+
+    @property
+    def parallel_safe(self) -> bool:
+        return self._function.parallel_safe
 
 
 class MixtureFunction(SetFunction):
@@ -100,6 +133,41 @@ class MixtureFunction(SetFunction):
             )
         )
 
+    def gain_state(self, subset=()) -> _CompositeGainState:
+        state = _CompositeGainState(subset)
+        children: List[GainState] = [
+            f.gain_state(state.members) for f in self._functions
+        ]
+        state.children = children
+        return state
+
+    def gains(self, candidates: Candidates, state: _CompositeGainState) -> np.ndarray:
+        idx = np.asarray(candidates, dtype=int)
+        out = np.zeros(idx.size, dtype=float)
+        for weight, function, child in zip(
+            self._weights, self._functions, state.children
+        ):
+            out += weight * function.gains(idx, child)
+        return out
+
+    def push(self, state: _CompositeGainState, element: Element) -> _CompositeGainState:
+        super().push(state, element)
+        for function, child in zip(self._functions, state.children):
+            function.push(child, element)
+        return state
+
     @property
     def is_modular(self) -> bool:
         return all(f.is_modular for f in self._functions)
+
+    @property
+    def declares_submodular(self) -> bool:
+        return all(f.declares_submodular for f in self._functions)
+
+    @property
+    def declares_monotone(self) -> bool:
+        return all(f.declares_monotone for f in self._functions)
+
+    @property
+    def parallel_safe(self) -> bool:
+        return all(f.parallel_safe for f in self._functions)

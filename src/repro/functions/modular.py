@@ -14,7 +14,7 @@ import numpy as np
 
 from repro._types import Element
 from repro.exceptions import InvalidParameterError
-from repro.functions.base import SetFunction
+from repro.functions.base import Candidates, GainState, SetFunction
 from repro.utils.validation import check_candidate_pool
 
 
@@ -58,6 +58,15 @@ class ModularFunction(SetFunction):
 
     @property
     def is_modular(self) -> bool:
+        return True
+
+    def gains(self, candidates: Candidates, state: GainState) -> np.ndarray:
+        """Batch gains are a weight-vector slice (members zeroed)."""
+        idx = np.asarray(candidates, dtype=int)
+        return state.mask_members(idx, self._weights[idx])
+
+    @property
+    def parallel_safe(self) -> bool:
         return True
 
     # ------------------------------------------------------------------
@@ -121,12 +130,19 @@ class ZeroFunction(SetFunction):
     def marginal(self, element: Element, subset: Iterable[Element]) -> float:
         return 0.0
 
+    def gains(self, candidates: Candidates, state: GainState) -> np.ndarray:
+        return np.zeros(np.asarray(candidates, dtype=int).size, dtype=float)
+
     def weights_view(self) -> np.ndarray:
         """The (all-zero) weight vector as a read-only view."""
         return self._weights_view
 
     @property
     def is_modular(self) -> bool:
+        return True
+
+    @property
+    def parallel_safe(self) -> bool:
         return True
 
     def restrict(self, elements: Iterable[Element]) -> "ZeroFunction":

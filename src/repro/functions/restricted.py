@@ -13,9 +13,17 @@ from __future__ import annotations
 
 from typing import FrozenSet, Iterable, Tuple
 
+import numpy as np
+
 from repro._types import Element
-from repro.functions.base import SetFunction
+from repro.functions.base import Candidates, GainState, SetFunction
 from repro.utils.validation import check_candidate_pool
+
+
+class _RestrictedGainState(GainState):
+    """Local member set plus the parent's gain state over global indices."""
+
+    __slots__ = ("parent_state",)
 
 
 class RestrictedSetFunction(SetFunction):
@@ -32,6 +40,7 @@ class RestrictedSetFunction(SetFunction):
         self._globals: Tuple[Element, ...] = tuple(
             check_candidate_pool(elements, parent.n).tolist()
         )
+        self._globals_array = np.asarray(self._globals, dtype=int)
 
     # ------------------------------------------------------------------
     # Accessors
@@ -65,9 +74,32 @@ class RestrictedSetFunction(SetFunction):
             return 0.0
         return self._parent.marginal(self._globals[element], self._map(members))
 
+    # ------------------------------------------------------------------
+    # Batched marginal-gain protocol (delegates to the parent's state)
+    # ------------------------------------------------------------------
+    def gain_state(self, subset=()) -> _RestrictedGainState:
+        state = _RestrictedGainState(subset)
+        state.parent_state = self._parent.gain_state(
+            self._globals[e] for e in state.members
+        )
+        return state
+
+    def gains(self, candidates: Candidates, state: _RestrictedGainState) -> np.ndarray:
+        idx = np.asarray(candidates, dtype=int)
+        return self._parent.gains(self._globals_array[idx], state.parent_state)
+
+    def push(self, state: _RestrictedGainState, element: Element) -> _RestrictedGainState:
+        super().push(state, element)
+        self._parent.push(state.parent_state, self._globals[element])
+        return state
+
     @property
     def is_modular(self) -> bool:
         return self._parent.is_modular
+
+    @property
+    def parallel_safe(self) -> bool:
+        return self._parent.parallel_safe
 
     @property
     def declares_submodular(self) -> bool:

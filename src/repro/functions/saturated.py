@@ -20,7 +20,16 @@ import numpy as np
 
 from repro._types import Element
 from repro.exceptions import InvalidParameterError
-from repro.functions.base import SetFunction
+from repro.functions.base import Candidates, GainState, SetFunction
+
+#: Column-chunk width for batched gains, bounding the ``n × |C|`` temporary.
+_GAINS_CHUNK = 512
+
+
+class _SaturatedGainState(GainState):
+    """Running similarity mass ``mass[i] = Σ_{j ∈ S} sim(i, j)``."""
+
+    __slots__ = ("mass",)
 
 
 class SaturatedCoverageFunction(SetFunction):
@@ -78,6 +87,45 @@ class SaturatedCoverageFunction(SetFunction):
         before = np.minimum(mass, self._caps)
         after = np.minimum(mass + self._similarity[:, element], self._caps)
         return float((after - before).sum())
+
+    # ------------------------------------------------------------------
+    # Batched marginal-gain protocol
+    # ------------------------------------------------------------------
+    def gain_state(self, subset=()) -> _SaturatedGainState:
+        """O(n·|S|) state build: the similarity-mass vector of the subset."""
+        state = _SaturatedGainState(subset)
+        if state.members:
+            idx = state.member_indices()
+            state.mass = self._similarity[:, idx].sum(axis=1)
+        else:
+            state.mass = np.zeros(self.n)
+        return state
+
+    def gains(self, candidates: Candidates, state: _SaturatedGainState) -> np.ndarray:
+        """Batch gains as capped-mass column sums per chunk."""
+        idx = np.asarray(candidates, dtype=int)
+        if idx.size == 0:
+            return np.zeros(0, dtype=float)
+        mass, caps = state.mass, self._caps
+        base = np.minimum(mass, caps).sum()
+        out = np.empty(idx.size, dtype=float)
+        for start in range(0, idx.size, _GAINS_CHUNK):
+            chunk = idx[start : start + _GAINS_CHUNK]
+            after = np.minimum(
+                mass[:, None] + self._similarity[:, chunk], caps[:, None]
+            )
+            out[start : start + _GAINS_CHUNK] = after.sum(axis=0) - base
+        return state.mask_members(idx, out)
+
+    def push(self, state: _SaturatedGainState, element: Element) -> _SaturatedGainState:
+        """O(n) incremental update of the mass vector."""
+        super().push(state, element)
+        state.mass += self._similarity[:, element]
+        return state
+
+    @property
+    def parallel_safe(self) -> bool:
+        return True
 
     @classmethod
     def from_features(

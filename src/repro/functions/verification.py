@@ -3,12 +3,23 @@
 Exact (exponential) checks over small ground sets and sampled checks over
 large ones, used by the test suite's property tests and available to users
 who plug in their own quality functions.
+
+The checkers evaluate marginals through the batched marginal-gain protocol
+(:meth:`~repro.functions.base.SetFunction.gain_state` /
+:meth:`~repro.functions.base.SetFunction.gains`): one state per inspected
+subset answers the marginals of *every* candidate in a single batch, so for
+the built-in families the exhaustive checks cost one state build + one array
+operation per subset instead of one scratch oracle evaluation per
+(subset, candidate) pair.  Functions without a native protocol fall back to
+the generic per-candidate loop and behave exactly as before.
 """
 
 from __future__ import annotations
 
 from itertools import combinations
 from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
 
 from repro.exceptions import (
     InvalidParameterError,
@@ -28,6 +39,11 @@ def _all_subsets(n: int, max_size: Optional[int] = None) -> Iterable[frozenset]:
     for size in range(limit + 1):
         for combo in combinations(range(n), size):
             yield frozenset(combo)
+
+
+def _outside(n: int, subset: frozenset) -> np.ndarray:
+    """Candidates not in ``subset``, ascending (the batched-gains order)."""
+    return np.array([u for u in range(n) if u not in subset], dtype=int)
 
 
 def check_normalized(function: SetFunction, *, tolerance: float = DEFAULT_TOLERANCE) -> None:
@@ -53,11 +69,12 @@ def is_monotone(
     n = function.n
     if n <= exhaustive_limit:
         for subset in _all_subsets(n):
-            for u in range(n):
-                if u in subset:
-                    continue
-                if function.marginal(u, subset) < -tolerance:
-                    return False
+            candidates = _outside(n, subset)
+            if candidates.size == 0:
+                continue
+            state = function.gain_state(subset)
+            if function.gains(candidates, state).min() < -tolerance:
+                return False
         return True
     rng = make_rng(seed)
     for _ in range(samples):
@@ -66,6 +83,9 @@ def is_monotone(
         u = int(rng.integers(0, n))
         if u in subset:
             continue
+        # One candidate per sample: a scratch marginal beats building a
+        # whole gain state (which can cost more than the single evaluation
+        # for state-heavy families like log-det).
         if function.marginal(u, subset) < -tolerance:
             return False
     return True
@@ -86,15 +106,24 @@ def is_submodular(
     n = function.n
     if n <= exhaustive_limit:
         for small in _all_subsets(n):
+            state_small = function.gain_state(small)
+            gains_small_cache: Optional[np.ndarray] = None
             for extra in _all_subsets(n):
                 large = small | extra
-                for u in range(n):
-                    if u in large:
-                        continue
-                    gain_small = function.marginal(u, small)
-                    gain_large = function.marginal(u, large)
-                    if gain_large > gain_small + tolerance:
-                        return False
+                candidates = _outside(n, large)
+                if candidates.size == 0:
+                    continue
+                if gains_small_cache is None:
+                    # One batch against S answers every nested comparison;
+                    # candidates outside T index into it by position.
+                    gains_small_cache = np.full(n, np.nan)
+                    outside_small = _outside(n, small)
+                    gains_small_cache[outside_small] = function.gains(
+                        outside_small, state_small
+                    )
+                gains_large = function.gains(candidates, function.gain_state(large))
+                if (gains_large > gains_small_cache[candidates] + tolerance).any():
+                    return False
         return True
     rng = make_rng(seed)
     for _ in range(samples):
@@ -112,6 +141,8 @@ def is_submodular(
         if not candidates:
             continue
         u = int(rng.choice(candidates))
+        # Single-candidate samples stay on the scratch marginal (see
+        # is_monotone); only the exhaustive branch amortizes state builds.
         if function.marginal(u, large) > function.marginal(u, small) + tolerance:
             return False
     return True
@@ -144,13 +175,16 @@ def estimate_curvature(
     if n == 0:
         return 0.0
     universe = frozenset(range(n))
+    singleton_gains = function.gains(np.arange(n), function.gain_state(()))
     worst_ratio = 1.0
     found = False
     for u in range(n):
-        singleton_gain = function.marginal(u, frozenset())
+        singleton_gain = float(singleton_gains[u])
         if singleton_gain <= tolerance:
             continue
-        rest_gain = function.marginal(u, universe - {u})
+        rest_gain = float(
+            function.gains((u,), function.gain_state(universe - {u}))[0]
+        )
         worst_ratio = min(worst_ratio, rest_gain / singleton_gain)
         found = True
     if not found:
@@ -173,14 +207,19 @@ def marginal_violations(
         )
     violations: List[Tuple[frozenset, frozenset, int, float]] = []
     for small in _all_subsets(n):
+        state_small = function.gain_state(small)
         for extra in _all_subsets(n):
             large = small | extra
-            for u in range(n):
-                if u in large:
-                    continue
-                gap = function.marginal(u, large) - function.marginal(u, small)
-                if gap > tolerance:
-                    violations.append((small, large, u, float(gap)))
-                    if len(violations) >= max_violations:
-                        return violations
+            candidates = _outside(n, large)
+            if candidates.size == 0:
+                continue
+            gaps = function.gains(
+                candidates, function.gain_state(large)
+            ) - function.gains(candidates, state_small)
+            for position in np.nonzero(gaps > tolerance)[0]:
+                violations.append(
+                    (small, large, int(candidates[position]), float(gaps[position]))
+                )
+                if len(violations) >= max_violations:
+                    return violations
     return violations

@@ -27,9 +27,11 @@ from __future__ import annotations
 from itertools import combinations
 from typing import Iterable, Optional, Tuple
 
+import numpy as np
+
 from repro._types import Element
 from repro.exceptions import InvalidParameterError
-from repro.functions.base import SetFunction
+from repro.functions.base import Candidates, GainState, SetFunction
 from repro.metrics.aggregates import set_distance
 from repro.metrics.base import Metric
 from repro.utils.rng import SeedLike, make_rng
@@ -64,6 +66,17 @@ class DispersionFunction(SetFunction):
         if element in members:
             return 0.0
         return float(sum(self._metric.distance(element, v) for v in members))
+
+    def gains(self, candidates: Candidates, state: GainState) -> np.ndarray:
+        """Batch marginals as a submatrix row-sum when the metric is matrix-backed."""
+        matrix = self._metric.matrix_view()
+        if matrix is None:
+            return super().gains(candidates, state)
+        idx = np.asarray(candidates, dtype=int)
+        if not state.members or idx.size == 0:
+            return np.zeros(idx.size, dtype=float)
+        out = matrix[np.ix_(idx, state.member_indices())].sum(axis=1)
+        return state.mask_members(idx, out)
 
     @property
     def declares_submodular(self) -> bool:

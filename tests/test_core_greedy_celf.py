@@ -1,0 +1,135 @@
+"""CELF lazy greedy vs plain greedy on the submodular fast path.
+
+Submodularity makes stale quality gains valid upper bounds, so the lazy
+(CELF) evaluation order must select exactly the same elements, in the same
+order, as the plain per-iteration batch evaluation — and as the original
+per-candidate oracle loop.  Tie-breaking is deterministic (smallest index
+first) in all three.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.greedy import greedy_diversify
+from repro.core.objective import Objective
+from repro.functions import (
+    CoverageFunction,
+    FacilityLocationFunction,
+    LogDeterminantFunction,
+    SaturatedCoverageFunction,
+)
+from repro.functions.weakly_submodular import DispersionFunction
+from repro.metrics.discrete import UniformRandomMetric
+
+N, P = 160, 12
+
+
+def _oracle_greedy(objective, p, *, oblivious=False):
+    """The pre-protocol reference: one oracle call per candidate per step."""
+    selected, order = set(), []
+    tracker = objective.make_tracker()
+    remaining = set(range(objective.n))
+    while len(selected) < p and remaining:
+        members = frozenset(selected)
+        best, best_gain = None, -float("inf")
+        for u in remaining:
+            gain = (
+                objective.marginal(u, members, tracker=tracker)
+                if oblivious
+                else objective.potential_marginal(u, members, tracker=tracker)
+            )
+            if gain > best_gain or (gain == best_gain and (best is None or u < best)):
+                best_gain, best = gain, u
+        selected.add(best)
+        order.append(best)
+        tracker.add(best)
+        remaining.discard(best)
+    return order
+
+
+def _quality(kind: str, rng: np.random.Generator):
+    if kind == "facility":
+        similarity = rng.uniform(0.0, 1.0, size=(N, N))
+        return FacilityLocationFunction((similarity + similarity.T) / 2.0)
+    if kind == "coverage":
+        return CoverageFunction.random(N, 60, topics_per_element=3, seed=7)
+    if kind == "log_det":
+        return LogDeterminantFunction.from_features(
+            rng.normal(size=(N, 5)), bandwidth=2.0
+        )
+    assert kind == "saturated"
+    similarity = rng.uniform(0.0, 1.0, size=(N, N))
+    return SaturatedCoverageFunction(
+        (similarity + similarity.T) / 2.0, saturation=0.3
+    )
+
+
+@pytest.mark.parametrize("kind", ["facility", "coverage", "log_det", "saturated"])
+@pytest.mark.parametrize("tradeoff", [0.0, 0.5, 2.0])
+def test_celf_matches_plain_and_oracle(kind, tradeoff):
+    rng = np.random.default_rng(hash(kind) % 2**32)
+    objective = Objective(_quality(kind, rng), UniformRandomMetric(N, seed=13), tradeoff)
+    lazy = greedy_diversify(objective, P)
+    plain = greedy_diversify(objective, P, lazy=False)
+    oracle = _oracle_greedy(objective, P)
+    assert list(lazy.order) == list(plain.order) == oracle
+    assert lazy.metadata["celf"]["lazy"] is True
+    assert plain.metadata["celf"]["lazy"] is False
+    # Laziness must not evaluate more than the plain batch does.
+    assert (
+        lazy.metadata["celf"]["quality_evaluations"]
+        <= plain.metadata["celf"]["quality_evaluations"]
+    )
+
+
+@pytest.mark.parametrize("kind", ["facility", "log_det"])
+def test_celf_oblivious_and_best_pair(kind):
+    rng = np.random.default_rng(hash(kind) % 2**31)
+    objective = Objective(_quality(kind, rng), UniformRandomMetric(N, seed=3), 0.7)
+    lazy = greedy_diversify(objective, P, oblivious=True)
+    assert list(lazy.order) == _oracle_greedy(objective, P, oblivious=True)
+    pair_lazy = greedy_diversify(objective, P, start="best_pair")
+    pair_plain = greedy_diversify(objective, P, start="best_pair", lazy=False)
+    assert list(pair_lazy.order) == list(pair_plain.order)
+    assert pair_lazy.size == P
+
+
+def test_celf_metadata_counts():
+    rng = np.random.default_rng(0)
+    objective = Objective(_quality("facility", rng), UniformRandomMetric(N, seed=1), 0.5)
+    result = greedy_diversify(objective, P)
+    celf = result.metadata["celf"]
+    assert celf["quality_evaluations"] >= N  # first iteration batches everything
+    assert 0.0 <= celf["celf_fraction"] <= 1.0
+    assert (
+        celf["quality_evaluations"]
+        == N + celf["evaluations_after_first"]
+    )
+
+
+def test_non_submodular_quality_defaults_to_plain():
+    """Supermodular dispersion quality must not be evaluated lazily."""
+    rng = np.random.default_rng(2)
+    matrix = 0.5 + rng.uniform(0.0, 0.5, size=(40, 40))
+    matrix = (matrix + matrix.T) / 2.0
+    np.fill_diagonal(matrix, 0.0)
+    from repro.metrics.matrix import DistanceMatrix
+
+    metric = DistanceMatrix(matrix)
+    objective = Objective(DispersionFunction(metric), UniformRandomMetric(40, seed=5), 0.3)
+    result = greedy_diversify(objective, 6)
+    assert result.metadata["celf"]["lazy"] is False
+    assert list(result.order) == _oracle_greedy(objective, 6)
+
+
+def test_modular_path_keeps_metadata_shape():
+    from repro.functions import ModularFunction
+
+    rng = np.random.default_rng(4)
+    objective = Objective(
+        ModularFunction(rng.uniform(0, 5, N)), UniformRandomMetric(N, seed=2), 1.0
+    )
+    result = greedy_diversify(objective, P)
+    assert "celf" not in result.metadata

@@ -17,6 +17,7 @@ from repro.core import kernels
 from repro.core.greedy import _best_pair, greedy_diversify
 from repro.core.local_search import (
     _scan_swaps_reference,
+    _scan_swaps_submodular,
     _scan_swaps_vectorized,
     local_search_diversify,
 )
@@ -178,6 +179,88 @@ class TestSwapScanEquivalence:
         assert (
             _scan_swaps_vectorized(
                 fast, matroid, selected, fast.make_tracker(selected), huge, weights, matrix
+            )
+            is None
+        )
+
+
+class TestSubmodularSwapScanEquivalence:
+    """The protocol-backed kernel scan must match the reference loop scan."""
+
+    @staticmethod
+    def _submodular_objective(seed: int, n: int = 30):
+        metric, _, tradeoff = random_instance(seed, n)
+        rng = np.random.default_rng(seed + 41)
+        if seed % 2 == 0:
+            quality = FacilityLocationFunction.from_distances(metric.to_matrix())
+        else:
+            from repro.functions.saturated import SaturatedCoverageFunction
+
+            similarity = rng.uniform(0.0, 1.0, size=(n, n))
+            quality = SaturatedCoverageFunction(
+                (similarity + similarity.T) / 2.0, saturation=0.3
+            )
+        return Objective(quality, metric, tradeoff)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_uniform_matroid_scan(self, seed):
+        objective = self._submodular_objective(seed)
+        rng = np.random.default_rng(seed)
+        selected = set(rng.choice(objective.n, size=7, replace=False).tolist())
+        matroid = UniformMatroid(objective.n, len(selected))
+        tracker = objective.make_tracker(selected)
+        vec = _scan_swaps_submodular(
+            objective,
+            matroid,
+            selected,
+            tracker,
+            0.0,
+            objective.metric.matrix_view(),
+        )
+        ref = _scan_swaps_reference(objective, matroid, selected, tracker, 0.0)
+        assert (vec is None) == (ref is None)
+        if vec is not None:
+            assert vec[:2] == ref[:2]
+            assert vec[2] == pytest.approx(ref[2], abs=1e-9)
+            # The reported gain must be the true objective delta.
+            assert vec[2] == pytest.approx(
+                objective.swap_gain(selected, vec[0], vec[1]), abs=1e-9
+            )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_partition_matroid_scan(self, seed):
+        objective = self._submodular_objective(seed, n=24)
+        blocks = [u % 4 for u in range(objective.n)]
+        matroid = PartitionMatroid(blocks, {b: 2 for b in range(4)})
+        selected = set(matroid.extend_to_basis(frozenset()))
+        tracker = objective.make_tracker(selected)
+        vec = _scan_swaps_submodular(
+            objective,
+            matroid,
+            selected,
+            tracker,
+            0.0,
+            objective.metric.matrix_view(),
+        )
+        ref = _scan_swaps_reference(objective, matroid, selected, tracker, 0.0)
+        assert (vec is None) == (ref is None)
+        if vec is not None:
+            assert vec[:2] == ref[:2]
+            assert vec[2] == pytest.approx(ref[2], abs=1e-9)
+
+    def test_threshold_respected(self):
+        objective = self._submodular_objective(0)
+        rng = np.random.default_rng(0)
+        selected = set(rng.choice(objective.n, size=5, replace=False).tolist())
+        matroid = UniformMatroid(objective.n, len(selected))
+        assert (
+            _scan_swaps_submodular(
+                objective,
+                matroid,
+                selected,
+                objective.make_tracker(selected),
+                1e9,
+                objective.metric.matrix_view(),
             )
             is None
         )

@@ -259,17 +259,37 @@ class TestSolveSharded:
         metric = feature_instance.metric
 
         class OracleQuality(ModularFunction):
-            def __init__(self, weights):
-                super().__init__(weights)
+            """A user-oracle stand-in: no array view, no thread-safety promise."""
 
             def weights_view(self):  # pretend there is no array view
                 return None
+
+            @property
+            def parallel_safe(self):  # and no parallel-safety declaration
+                return False
 
         quality = OracleQuality(feature_instance.weights)
         result = solve_sharded(
             quality, metric, tradeoff=0.5, p=4, shards=4, max_workers=4
         )
         assert result.metadata["sharding"]["executor"] is None
+
+    def test_submodular_parallel_safe_quality_enables_thread_pool(
+        self, feature_instance
+    ):
+        from repro.functions import FacilityLocationFunction
+
+        metric = feature_instance.metric
+        rng = np.random.default_rng(9)
+        n = metric.n
+        similarity = rng.uniform(0.0, 1.0, size=(n, n))
+        quality = FacilityLocationFunction((similarity + similarity.T) / 2.0)
+        sequential = solve_sharded(quality, metric, tradeoff=0.5, p=4, shards=4)
+        threaded = solve_sharded(
+            quality, metric, tradeoff=0.5, p=4, shards=4, max_workers=4
+        )
+        assert threaded.metadata["sharding"]["executor"] == "thread"
+        assert threaded.selected == sequential.selected
 
     def test_candidates_restrict_selection(self, feature_instance):
         quality, metric = feature_instance.quality, feature_instance.metric

@@ -93,3 +93,89 @@ class TestStreamingDiversify:
             online = streaming_diversify(objective, 4, order).objective_value
             assert online >= optimum / 2 - 1e-9
             assert online >= 0.8 * offline
+
+
+class TestStreamingProtocolPath:
+    """The batched-gains arrival path must match the brute-force swap rule."""
+
+    @staticmethod
+    def _reference_stream(objective, p, order, margin=0.0):
+        """Old per-arrival semantics: objective.marginal / swap_gain oracles."""
+        selected, value, swaps = [], 0.0, 0
+        for element in order:
+            if element in selected:
+                continue
+            members = frozenset(selected)
+            if len(selected) < p:
+                value += objective.marginal(element, members)
+                selected.append(element)
+                continue
+            best_gain = margin * abs(value)
+            best_outgoing = None
+            for outgoing in selected:
+                gain = objective.swap_gain(members, element, outgoing)
+                if gain > best_gain:
+                    best_gain, best_outgoing = gain, outgoing
+            if best_outgoing is not None:
+                selected.remove(best_outgoing)
+                selected.append(element)
+                value += best_gain
+                swaps += 1
+        return selected, value, swaps
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("margin", [0.0, 0.02])
+    def test_submodular_arrivals_match_reference(self, seed, margin):
+        from repro.core.objective import Objective
+        from repro.functions.facility_location import FacilityLocationFunction
+        from repro.metrics.discrete import UniformRandomMetric
+
+        rng = np.random.default_rng(seed)
+        n, p = 60, 6
+        similarity = rng.uniform(0.0, 1.0, size=(n, n))
+        quality = FacilityLocationFunction((similarity + similarity.T) / 2.0)
+        objective = Objective(quality, UniformRandomMetric(n, seed=seed), 0.6)
+        order = [int(x) for x in rng.permutation(n)]
+        expected_sel, expected_val, expected_swaps = self._reference_stream(
+            objective, p, order, margin
+        )
+        result = streaming_diversify(objective, p, order, improvement_margin=margin)
+        assert sorted(result.selected) == sorted(expected_sel)
+        assert result.metadata["swaps"] == expected_swaps
+        assert result.objective_value == pytest.approx(
+            objective.value(frozenset(expected_sel)), abs=1e-9
+        )
+
+    def test_oracle_metric_submodular_arrivals(self):
+        from repro.core.objective import Objective
+        from repro.functions.facility_location import FacilityLocationFunction
+        from repro.metrics.base import Metric
+        from repro.metrics.discrete import UniformRandomMetric
+
+        class OracleOnly(Metric):
+            def __init__(self, inner):
+                self._inner = inner
+
+            @property
+            def n(self):
+                return self._inner.n
+
+            def distance(self, u, v):
+                return self._inner.distance(u, v)
+
+        rng = np.random.default_rng(9)
+        n, p = 40, 5
+        similarity = rng.uniform(0.0, 1.0, size=(n, n))
+        quality = FacilityLocationFunction((similarity + similarity.T) / 2.0)
+        inner = UniformRandomMetric(n, seed=9)
+        order = [int(x) for x in rng.permutation(n)]
+        with_matrix = streaming_diversify(
+            Objective(quality, inner, 0.6), p, order
+        )
+        oracle_only = streaming_diversify(
+            Objective(quality, OracleOnly(inner), 0.6), p, order
+        )
+        assert with_matrix.selected == oracle_only.selected
+        assert with_matrix.objective_value == pytest.approx(
+            oracle_only.objective_value, abs=1e-9
+        )

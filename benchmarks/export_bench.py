@@ -25,7 +25,9 @@ from typing import Optional, Sequence
 #: ``celf_fraction`` is the lazy-greedy evaluation ratio of the submodular
 #: suite (fraction of candidates whose quality gain is re-evaluated after the
 #: first greedy iteration — the CELF contract caps it at 0.25).
-_GUARD_KEYS = ("speedup", "parity", "celf_fraction")
+#: ``interrupted_solve_overhead`` is the fractional slowdown a generous
+#: deadline adds to the greedy loop (capped at 0.05 by the deadline guard).
+_GUARD_KEYS = ("speedup", "parity", "celf_fraction", "interrupted_solve_overhead")
 
 
 def distill(report: dict, *, sha: Optional[str] = None) -> dict:

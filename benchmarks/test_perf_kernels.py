@@ -427,3 +427,51 @@ def test_local_search_convergence(benchmark):
     benchmark.extra_info["p"] = 30
     benchmark.extra_info["swaps"] = result.iterations
     benchmark.extra_info["objective_value"] = round(result.objective_value, 4)
+
+
+# Deadline guard: the cooperative expiry checks a generous deadline adds to
+# the greedy loop must stay under 5% of the unconstrained runtime.  The
+# instance is deliberately large (each iteration does O(n·d) tracker work):
+# on toy instances the fixed per-iteration clock read dominates and the
+# ratio measures Python overhead, not the solver.
+DEADLINE_N, DEADLINE_P, DEADLINE_DIM = 8000, 100, 8
+MAX_DEADLINE_OVERHEAD = 0.05
+
+
+def test_deadline_overhead(benchmark):
+    """A never-expiring deadline must not slow greedy solves measurably."""
+    rng = np.random.default_rng(13)
+    from repro.metrics.euclidean import EuclideanMetric
+
+    metric = EuclideanMetric(rng.normal(size=(DEADLINE_N, DEADLINE_DIM)))
+    quality = ModularFunction(rng.uniform(0.0, 5.0, size=DEADLINE_N))
+    objective = Objective(quality, metric, 1.0)
+
+    def with_deadline():
+        return greedy_diversify(objective, DEADLINE_P, deadline=3600.0)
+
+    # Min over rounds on both sides (see test_swap_scan_speedup): noise can
+    # only inflate samples, so min-to-min is a stable overhead bound.
+    timed = benchmark.pedantic(with_deadline, rounds=8, iterations=1)
+    deadline_seconds = benchmark.stats.stats.min
+
+    plain_seconds = float("inf")
+    for _ in range(8):
+        started = time.perf_counter()
+        plain = greedy_diversify(objective, DEADLINE_P)
+        plain_seconds = min(plain_seconds, time.perf_counter() - started)
+
+    assert timed.selected == plain.selected
+    assert "interrupted" not in timed.metadata
+    overhead = deadline_seconds / max(plain_seconds, 1e-12) - 1.0
+    benchmark.extra_info["n"] = DEADLINE_N
+    benchmark.extra_info["p"] = DEADLINE_P
+    benchmark.extra_info["interrupted_solve_overhead"] = round(max(overhead, 0.0), 4)
+    print(
+        f"\ndeadline overhead n={DEADLINE_N}, p={DEADLINE_P}: "
+        f"plain {plain_seconds * 1e3:.2f} ms, "
+        f"with deadline {deadline_seconds * 1e3:.2f} ms ({overhead * 100:+.1f}%)"
+    )
+    assert overhead <= MAX_DEADLINE_OVERHEAD, (
+        f"deadline bookkeeping adds {overhead * 100:.1f}% to the greedy loop"
+    )

@@ -30,6 +30,7 @@ from repro.core import (
     LocalSearchConfig,
     Objective,
     Restriction,
+    SolveCheckpoint,
     SolverResult,
     StreamingDiversifier,
     exact_dispersion,
@@ -67,11 +68,18 @@ from repro.dynamic import (
     DistanceDecrease,
     DistanceIncrease,
     DynamicDiversifier,
+    EngineSnapshot,
     Environment,
     WeightDecrease,
     WeightIncrease,
 )
-from repro.exceptions import ReproError
+from repro.exceptions import (
+    InvalidParameterError,
+    NonFiniteDataError,
+    NumericalDegradationWarning,
+    ReproError,
+    ReproWarning,
+)
 from repro.functions import (
     CoverageFunction,
     FacilityLocationFunction,
@@ -97,6 +105,7 @@ from repro.metrics import (
     Metric,
     UniformRandomMetric,
 )
+from repro.utils.deadline import Deadline
 
 __version__ = "1.0.0"
 
@@ -107,6 +116,8 @@ __all__ = [
     "Restriction",
     "SolverResult",
     "LocalSearchConfig",
+    "SolveCheckpoint",
+    "Deadline",
     "solve",
     "solve_many",
     "solve_sharded",
@@ -147,6 +158,7 @@ __all__ = [
     "TruncatedMatroid",
     # dynamic
     "DynamicDiversifier",
+    "EngineSnapshot",
     "WeightIncrease",
     "WeightDecrease",
     "DistanceIncrease",
@@ -166,6 +178,10 @@ __all__ = [
     "SavedInstance",
     "save_instance",
     "load_instance",
-    # errors
+    # errors and warnings
     "ReproError",
+    "InvalidParameterError",
+    "NonFiniteDataError",
+    "ReproWarning",
+    "NumericalDegradationWarning",
 ]

@@ -46,6 +46,7 @@ from repro.core.baselines import (
     reduced_metric,
 )
 from repro.core.batch import solve_many
+from repro.core.checkpoint import SolveCheckpoint
 from repro.core.dispersion import greedy_dispersion
 from repro.core.exact import exact_dispersion, exact_diversify
 from repro.core.greedy import greedy_diversify
@@ -67,6 +68,7 @@ __all__ = [
     "Objective",
     "Restriction",
     "SolverResult",
+    "SolveCheckpoint",
     "greedy_diversify",
     "greedy_dispersion",
     "gollapudi_sharma_greedy",

@@ -23,14 +23,14 @@ the submatrix reductions, so large pools see real parallelism.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Union
 
 from repro._types import Element
 from repro.core import kernels
 from repro.core.local_search import LocalSearchConfig
 from repro.core.objective import Objective
 from repro.core.restriction import Restriction
-from repro.core.result import SolverResult
+from repro.core.result import SolverResult, build_result
 from repro.core.solver import ALGORITHMS, _dispatch
 from repro.exceptions import InvalidParameterError
 from repro.functions.base import SetFunction
@@ -38,6 +38,7 @@ from repro.functions.modular import ModularFunction
 from repro.matroids.base import Matroid
 from repro.metrics.base import Metric
 from repro.metrics.matrix import as_distance_matrix
+from repro.utils.deadline import Deadline, mark_interrupted
 
 __all__ = ["solve_many"]
 
@@ -56,6 +57,7 @@ def solve_many(
     max_workers: Optional[int] = None,
     shards: Optional[int] = None,
     shard_size: Optional[int] = None,
+    deadline_s: Union[None, float, Deadline] = None,
 ) -> List[SolverResult]:
     """Solve one diversification instance per candidate pool on a shared corpus.
 
@@ -99,6 +101,14 @@ def solve_many(
         regardless of ``materialize`` — avoiding the O(n²) corpus matrix is
         the point of sharding — so this is the multi-query path for corpora
         beyond matrix scale.
+    deadline_s:
+        Optional cooperative wall-clock budget shared by the **whole batch**
+        (one clock, not one per query).  Queries still running when it
+        expires stop early and return their best-so-far solution; queries
+        that have not started yet return an *empty* selection with
+        ``metadata["interrupted"] = True`` and
+        ``metadata["phase"] = "batch_queue"``.  Either way the returned list
+        always has one (feasible) result per query.
 
     Returns
     -------
@@ -115,6 +125,7 @@ def solve_many(
     if max_workers is not None and max_workers < 1:
         raise InvalidParameterError("max_workers must be at least 1")
 
+    deadline = Deadline.coerce(deadline_s)
     sharded = shards is not None or shard_size is not None
     if sharded and matroid is not None:
         raise InvalidParameterError(
@@ -142,6 +153,21 @@ def solve_many(
         )
 
     def solve_one(pool: Iterable[Element]) -> SolverResult:
+        if deadline is not None and deadline.expired():
+            # The batch budget ran out before this query started: report an
+            # empty (trivially feasible) selection rather than blocking.
+            result = build_result(
+                objective,
+                set(),
+                [],
+                algorithm=algorithm,
+                iterations=0,
+                elapsed_seconds=0.0,
+                metadata=mark_interrupted(
+                    {"candidates": tuple(pool)}, deadline, "batch_queue"
+                ),
+            )
+            return result
         if sharded:
             from repro.core.sharding import solve_sharded
 
@@ -159,6 +185,7 @@ def solve_many(
                 candidates=pool,
                 max_workers=max_workers,
                 local_search_config=local_search_config,
+                deadline=deadline,
             )
         restriction = Restriction(objective, pool)
         sub_matroid = (
@@ -170,6 +197,7 @@ def solve_many(
             p=p,
             matroid=sub_matroid,
             local_search_config=local_search_config,
+            deadline=deadline,
         )
         return restriction.lift(result)
 

@@ -1,0 +1,108 @@
+"""Pickle-safe solve checkpoints for interrupted / resumable runs.
+
+A :class:`SolveCheckpoint` is a plain-data snapshot of a solve in progress:
+
+* for **greedy** (``kind="greedy"``) it records the selection order built so
+  far — the whole algorithm state, since Greedy B is deterministic given its
+  prefix;
+* for the **sharded core-set pipeline** (``kind="sharded"``) it records the
+  shard layout plus the global-index winners of every shard solved so far,
+  so a resumed run skips straight to the unsolved shards.
+
+Checkpoints hold only primitive Python/tuple data (like
+:class:`~repro.utils.timing.Stopwatch`, nothing in them depends on live
+locks, clocks or array views), so they pickle across process boundaries and
+can be written to disk between sessions.  Emission is pull-free: callers pass
+``checkpoint_every=`` and an ``on_checkpoint`` callback to
+:func:`~repro.core.solver.solve`, and resume by passing the snapshot back as
+``resume_from=``.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Tuple
+
+from repro._types import Element
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["SolveCheckpoint"]
+
+
+@dataclass(frozen=True)
+class SolveCheckpoint:
+    """A resumable snapshot of one solve.
+
+    Attributes
+    ----------
+    kind:
+        ``"greedy"`` or ``"sharded"`` — which solve path emitted it (and
+        which path can resume it).
+    n:
+        Universe size of the instance the checkpoint belongs to.  Resuming
+        against a different universe raises.
+    p:
+        The cardinality target of the interrupted solve.
+    order:
+        Greedy checkpoints: the selection order built so far.
+    shard_winners:
+        Sharded checkpoints: ``{shard index: global winners}`` for every
+        shard already solved (or small enough to skip solving).
+    shard_sizes:
+        Sharded checkpoints: the shard layout, used to verify that a resume
+        runs against the same partition.
+    elapsed_seconds:
+        Wall-clock seconds spent before the checkpoint was cut.
+    metadata:
+        Free-form extras (phase, algorithm name, ...).
+    """
+
+    kind: str
+    n: int
+    p: int
+    order: Tuple[Element, ...] = ()
+    shard_winners: Mapping[int, Tuple[Element, ...]] = field(default_factory=dict)
+    shard_sizes: Tuple[int, ...] = ()
+    elapsed_seconds: float = 0.0
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def require(self, kind: str, n: int) -> "SolveCheckpoint":
+        """Assert the checkpoint matches the resuming solve; return ``self``.
+
+        Raises :class:`~repro.exceptions.InvalidParameterError` on a kind or
+        universe mismatch so a checkpoint cannot silently resume against the
+        wrong instance.
+        """
+        if self.kind != kind:
+            raise InvalidParameterError(
+                f"checkpoint kind {self.kind!r} cannot resume a {kind!r} solve"
+            )
+        if self.n != n:
+            raise InvalidParameterError(
+                f"checkpoint covers a universe of {self.n} elements but the "
+                f"instance has {n}"
+            )
+        return self
+
+    # ------------------------------------------------------------------
+    # Persistence helpers
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Pickle the checkpoint to ``path``."""
+        with open(path, "wb") as handle:
+            pickle.dump(self, handle)
+
+    @staticmethod
+    def load(path: str) -> "SolveCheckpoint":
+        """Load a checkpoint previously written by :meth:`save`."""
+        with open(path, "rb") as handle:
+            checkpoint = pickle.load(handle)
+        if not isinstance(checkpoint, SolveCheckpoint):
+            raise InvalidParameterError(
+                f"{path!r} does not contain a SolveCheckpoint"
+            )
+        return checkpoint

@@ -27,13 +27,15 @@ import time
 
 import numpy as np
 
-from typing import Iterable, List, Optional, Set
+from typing import Callable, Iterable, List, Optional, Set, Union
 
 from repro._types import Element
 from repro.core import kernels
+from repro.core.checkpoint import SolveCheckpoint
 from repro.core.objective import Objective
 from repro.core.result import SolverResult, build_result
 from repro.exceptions import InvalidParameterError
+from repro.utils.deadline import Deadline, mark_interrupted
 from repro.utils.validation import check_cardinality
 
 #: Number of top stale candidates re-evaluated per CELF round.  Batching
@@ -72,6 +74,10 @@ def greedy_diversify(
     start: str = "potential",
     oblivious: bool = False,
     lazy: Optional[bool] = None,
+    deadline: Union[None, float, Deadline] = None,
+    checkpoint_every: Optional[int] = None,
+    on_checkpoint: Optional[Callable[[SolveCheckpoint], None]] = None,
+    resume_from: Optional[SolveCheckpoint] = None,
 ) -> SolverResult:
     """Run Greedy B for the cardinality-constrained problem.
 
@@ -104,6 +110,22 @@ def greedy_diversify(
         bounds.  ``False`` forces the plain batched evaluation (every
         candidate re-scored each iteration); ``True`` forces laziness for
         functions whose submodularity the caller vouches for.
+    deadline:
+        Optional cooperative wall-clock budget (seconds or a
+        :class:`~repro.utils.deadline.Deadline`).  Checked once per selection
+        step; on expiry the greedy stops and returns its best-so-far prefix —
+        always a feasible set, since every greedy prefix is — with
+        ``metadata["interrupted"] = True`` and ``metadata["phase"]``.
+    checkpoint_every, on_checkpoint:
+        Emit a pickle-safe :class:`~repro.core.checkpoint.SolveCheckpoint`
+        (the selection order so far) to ``on_checkpoint`` after every
+        ``checkpoint_every`` selections (default 1 when only the callback is
+        given).
+    resume_from:
+        A ``kind="greedy"`` checkpoint to resume from: its order is replayed
+        as the selection prefix, after which the greedy continues normally.
+        Greedy is deterministic given a prefix, so an interrupted-and-resumed
+        run selects the same set as an uninterrupted one.
 
     Returns
     -------
@@ -113,15 +135,28 @@ def greedy_diversify(
     if candidates is not None:
         restriction = objective.restrict(candidates)
         result = greedy_diversify(
-            restriction.objective, p, start=start, oblivious=oblivious, lazy=lazy
+            restriction.objective,
+            p,
+            start=start,
+            oblivious=oblivious,
+            lazy=lazy,
+            deadline=deadline,
+            checkpoint_every=checkpoint_every,
+            on_checkpoint=on_checkpoint,
+            resume_from=resume_from,
         )
         return restriction.lift(result)
 
     started = time.perf_counter()
+    deadline = Deadline.coerce(deadline)
     n = objective.n
     p = check_cardinality(p, n) if p <= n else n
     if start not in ("potential", "best_pair"):
         raise InvalidParameterError(f"unknown start rule {start!r}")
+    if checkpoint_every is not None and checkpoint_every < 1:
+        raise InvalidParameterError("checkpoint_every must be at least 1")
+    if on_checkpoint is not None and checkpoint_every is None:
+        checkpoint_every = 1
 
     algorithm = "greedy_b_oblivious" if oblivious else "greedy_b"
     if start == "best_pair":
@@ -132,15 +167,23 @@ def greedy_diversify(
     tracker = objective.make_tracker()
     remaining = set(range(n))
     iterations = 0
+    interrupted = False
 
-    if start == "best_pair" and p >= 2 and n >= 2:
-        x, y = _best_pair(objective, range(n))
-        for element in (x, y):
-            selected.add(element)
-            order.append(element)
-            tracker.add(element)
-            remaining.discard(element)
-        iterations += 1
+    seeded: List[Element] = []
+    if resume_from is not None:
+        resume_from.require("greedy", n)
+        seeded = list(resume_from.order)[:p]
+    elif start == "best_pair" and p >= 2 and n >= 2:
+        if deadline is not None and deadline.expired():
+            interrupted = True
+        else:
+            seeded = list(_best_pair(objective, range(n)))
+            iterations += 1
+    for element in seeded:
+        selected.add(element)
+        order.append(element)
+        tracker.add(element)
+        remaining.discard(element)
 
     quality = objective.quality
     quality_scale = 1.0 if oblivious else 0.5
@@ -180,7 +223,10 @@ def greedy_diversify(
         evaluations_after_first = 0
         candidates_after_first = 0
 
-    while len(selected) < p and remaining:
+    while len(selected) < p and remaining and not interrupted:
+        if deadline is not None and deadline.expired():
+            interrupted = True
+            break
         if scaled_weights is not None:
             np.multiply(tracker.marginals_view(), objective.tradeoff, out=scores)
             scores += scaled_weights
@@ -232,9 +278,29 @@ def greedy_diversify(
         remaining.discard(best_element)
         penalty[best_element] = -np.inf
         iterations += 1
+        if on_checkpoint is not None and len(order) % checkpoint_every == 0:
+            on_checkpoint(
+                SolveCheckpoint(
+                    kind="greedy",
+                    n=n,
+                    p=p,
+                    order=tuple(order),
+                    elapsed_seconds=time.perf_counter() - started,
+                    metadata={"algorithm": algorithm},
+                )
+            )
 
     metadata = {"start": start, "oblivious": oblivious, "p": p}
+    if resume_from is not None:
+        metadata["resumed_at"] = len(seeded)
+    if interrupted:
+        mark_interrupted(metadata, deadline, "greedy_selection")
     if scaled_weights is None:
+        if getattr(state, "degraded", False):
+            # A numerical fast path (e.g. the log-det Cholesky state) broke
+            # down mid-solve and fell back to oracle gains; surface it.
+            metadata["degraded"] = True
+            metadata["degradation"] = "quality_gain_state"
         metadata["celf"] = {
             "lazy": use_lazy,
             "quality_evaluations": evaluations,

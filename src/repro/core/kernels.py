@@ -26,11 +26,15 @@ level array operations.
 
 from __future__ import annotations
 
+import math
+import warnings
+
 from typing import Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro._types import Element
+from repro.exceptions import NumericalDegradationWarning
 from repro.functions.base import SetFunction
 from repro.matroids.base import Matroid
 
@@ -203,6 +207,13 @@ def best_swap_scan_from_gains(
     Shared selection logic of the modular and submodular kernel scans: the
     best (or, with ``first_improvement``, the first row-major) admissible
     entry strictly exceeding ``threshold``, or ``None``.
+
+    NaN gains (a poisoned oracle slipping past construction checks) would
+    otherwise hijack ``argmax`` — NaN wins every comparison there — and then
+    fail the ``best > threshold`` test, silently ending the search.  The scan
+    guards the selected entry only (O(1) on the clean path): when it is NaN,
+    a :class:`~repro.exceptions.NumericalDegradationWarning` is issued, NaN
+    entries are masked to ``-inf`` and the argmax is retaken.
     """
     if first_improvement:
         improving = gains > threshold
@@ -218,6 +229,16 @@ def best_swap_scan_from_gains(
     flat = int(np.argmax(gains))
     i, j = divmod(flat, outgoing.size)
     best = float(gains[i, j])
+    if math.isnan(best):
+        warnings.warn(
+            "swap scan found NaN gains; masking them and rescanning",
+            NumericalDegradationWarning,
+            stacklevel=2,
+        )
+        gains = np.where(np.isnan(gains), -np.inf, gains)
+        flat = int(np.argmax(gains))
+        i, j = divmod(flat, outgoing.size)
+        best = float(gains[i, j])
     if not best > threshold:
         return None
     return int(incoming[i]), int(outgoing[j]), best

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Set, Tuple
+from typing import Iterable, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
@@ -34,6 +34,7 @@ from repro.core.result import SolverResult, build_result
 from repro.exceptions import InfeasibleError, InvalidParameterError
 from repro.matroids.base import Matroid, restriction_feasible_pairs
 from repro.matroids.uniform import UniformMatroid
+from repro.utils.deadline import Deadline, mark_interrupted
 
 
 @dataclass(frozen=True)
@@ -288,7 +289,8 @@ def _run_swaps(
     config: LocalSearchConfig,
     started: float,
     swap_trace: List[Tuple[Element, Element, float]],
-) -> int:
+    deadline: Optional[Deadline] = None,
+) -> Tuple[int, bool]:
     """Perform improving swaps in place; return the number of swaps accepted.
 
     Each iteration runs one best-swap scan: the modular kernel scan when the
@@ -298,8 +300,14 @@ def _run_swaps(
     matrix-backed and the quality is *not* modular; and the loop-based
     reference scan otherwise.  All scans accept only swaps strictly better
     than the ε-threshold of :class:`LocalSearchConfig`.
+
+    Returns ``(swaps accepted, interrupted)`` — ``interrupted`` is ``True``
+    only when a cooperative ``deadline`` expired; the config's own time
+    budget counts as ordinary (non-interrupted) termination, matching the
+    existing ``converged`` metadata contract.
     """
     swaps = 0
+    interrupted = False
     tracker = objective.make_tracker(selected)
     current_value = objective.value(selected)
 
@@ -315,6 +323,8 @@ def _run_swaps(
     reference_weights = None if use_kernel else kernels.modular_weights(objective.quality)
 
     def out_of_time() -> bool:
+        if deadline is not None and deadline.expired():
+            return True
         return (
             config.time_budget_seconds is not None
             and time.perf_counter() - started > config.time_budget_seconds
@@ -322,6 +332,9 @@ def _run_swaps(
 
     while True:
         if config.max_swaps is not None and swaps >= config.max_swaps:
+            break
+        if deadline is not None and deadline.expired():
+            interrupted = True
             break
         if out_of_time():
             break
@@ -368,7 +381,7 @@ def _run_swaps(
         current_value += best_gain
         swap_trace.append((incoming, outgoing, best_gain))
         swaps += 1
-    return swaps
+    return swaps, interrupted
 
 
 def local_search_diversify(
@@ -378,6 +391,7 @@ def local_search_diversify(
     config: Optional[LocalSearchConfig] = None,
     initial: Optional[Iterable[Element]] = None,
     candidates: Optional[Iterable[Element]] = None,
+    deadline: Union[None, float, Deadline] = None,
 ) -> SolverResult:
     """Run the single-swap local search under a matroid constraint.
 
@@ -399,6 +413,12 @@ def local_search_diversify(
         (:meth:`~repro.matroids.base.Matroid.restrict`), the search runs on
         the sub-instance, and the result is lifted back.  ``initial`` (when
         given) must lie inside the pool.
+    deadline:
+        Optional cooperative wall-clock budget (seconds or a
+        :class:`~repro.utils.deadline.Deadline`).  Checked before every swap
+        scan (and periodically inside the reference scan); on expiry the
+        current basis — always feasible, since swaps preserve independence —
+        is returned with ``metadata["interrupted"] = True``.
     """
     config = config or LocalSearchConfig()
     if matroid.n != objective.n:
@@ -414,10 +434,12 @@ def local_search_diversify(
             matroid.restrict(restriction.candidates),
             config=config,
             initial=sub_initial,
+            deadline=deadline,
         )
         return restriction.lift(result)
 
     started = time.perf_counter()
+    deadline = Deadline.coerce(deadline)
     if initial is None:
         selected = _initial_basis(objective, matroid)
     else:
@@ -432,8 +454,24 @@ def local_search_diversify(
         selected = set(matroid.extend_to_basis(initial_set, preference=preference))
 
     swap_trace: List[Tuple[Element, Element, float]] = []
-    swaps = _run_swaps(objective, matroid, selected, config, started, swap_trace)
+    swaps, interrupted = _run_swaps(
+        objective, matroid, selected, config, started, swap_trace, deadline
+    )
     elapsed = time.perf_counter() - started
+    metadata = {
+        "swaps": swap_trace,
+        "epsilon": config.epsilon,
+        "converged": (
+            not interrupted
+            and (config.max_swaps is None or swaps < config.max_swaps)
+            and (
+                config.time_budget_seconds is None
+                or elapsed <= config.time_budget_seconds
+            )
+        ),
+    }
+    if interrupted:
+        mark_interrupted(metadata, deadline, "local_search_swaps")
     return build_result(
         objective,
         selected,
@@ -441,17 +479,7 @@ def local_search_diversify(
         algorithm="local_search",
         iterations=swaps,
         elapsed_seconds=elapsed,
-        metadata={
-            "swaps": swap_trace,
-            "epsilon": config.epsilon,
-            "converged": (
-                (config.max_swaps is None or swaps < config.max_swaps)
-                and (
-                    config.time_budget_seconds is None
-                    or elapsed <= config.time_budget_seconds
-                )
-            ),
-        },
+        metadata=metadata,
     )
 
 
@@ -463,6 +491,7 @@ def refine_with_local_search(
     time_budget_multiple: float = 10.0,
     min_budget_seconds: float = 0.01,
     config: Optional[LocalSearchConfig] = None,
+    deadline: Union[None, float, Deadline] = None,
 ) -> SolverResult:
     """The experiments' "LS": swap-refine a greedy solution under a time budget.
 
@@ -483,6 +512,11 @@ def refine_with_local_search(
         swaps.
     config:
         Optional base configuration; its time budget is overridden.
+    deadline:
+        Optional cooperative wall-clock budget, checked alongside the
+        seed-relative time budget; on expiry the refinement stops and the
+        partially refined (still feasible) solution is returned with
+        ``metadata["interrupted"] = True``.
     """
     if time_budget_multiple < 0:
         raise InvalidParameterError("time_budget_multiple must be non-negative")
@@ -497,10 +531,21 @@ def refine_with_local_search(
         first_improvement=base.first_improvement,
     )
     started = time.perf_counter()
+    deadline = Deadline.coerce(deadline)
     selected = set(seed_result.selected)
     swap_trace: List[Tuple[Element, Element, float]] = []
-    swaps = _run_swaps(objective, matroid, selected, refined_config, started, swap_trace)
+    swaps, interrupted = _run_swaps(
+        objective, matroid, selected, refined_config, started, swap_trace, deadline
+    )
     elapsed = time.perf_counter() - started
+    metadata = {
+        "seed_algorithm": seed_result.algorithm,
+        "seed_value": seed_result.objective_value,
+        "budget_seconds": budget,
+        "swaps": swap_trace,
+    }
+    if interrupted:
+        mark_interrupted(metadata, deadline, "local_search_refine")
     return build_result(
         objective,
         selected,
@@ -508,10 +553,5 @@ def refine_with_local_search(
         algorithm="local_search_refine",
         iterations=swaps,
         elapsed_seconds=elapsed,
-        metadata={
-            "seed_algorithm": seed_result.algorithm,
-            "seed_value": seed_result.objective_value,
-            "budget_seconds": budget,
-            "swaps": swap_trace,
-        },
+        metadata=metadata,
     )

@@ -30,7 +30,7 @@ from repro.metrics.aggregates import (
     set_distance,
 )
 from repro.metrics.base import Metric
-from repro.utils.validation import check_tradeoff
+from repro.utils.validation import check_finite_array, check_tradeoff
 
 
 class Objective:
@@ -56,6 +56,15 @@ class Objective:
         self._quality = quality
         self._metric = metric
         self._tradeoff = check_tradeoff("tradeoff", float(tradeoff))
+        # O(n) finiteness gate on modular weight views: cheap relative to any
+        # solve, and it catches NaN/inf planted in a weight vector that was
+        # built outside the validating ModularFunction constructor.  The
+        # O(n²) metric arrays are validated by their own constructors.
+        weights_view = getattr(quality, "weights_view", None)
+        if weights_view is not None:
+            weights = weights_view()
+            if weights is not None:
+                check_finite_array("quality weights", weights)
 
     # ------------------------------------------------------------------
     # Accessors

@@ -123,9 +123,11 @@ class Restriction:
         try:
             return [self._locals[int(e)] for e in elements]
         except KeyError as error:
+            # Chain the KeyError: a caller debugging a bad pool wants to see
+            # which lookup failed, not a bare re-raise.
             raise InvalidParameterError(
                 f"element {error.args[0]} is not in the candidate pool"
-            ) from None
+            ) from error
 
     def to_global(self, elements: Iterable[Element]) -> List[Element]:
         """Map local (restricted) indices back into the corpus' universe."""

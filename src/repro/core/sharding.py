@@ -26,24 +26,50 @@ Memory model: the peak footprint is O(shard_size² + core²) — the one shard
 block being solved (when the shard algorithm needs a materialized block at
 all; plain greedy runs on O(shard_size · d) lazy state) plus the final
 core-set block — instead of O(n²).
+
+Fault tolerance
+---------------
+Shard independence is also what makes the map *recoverable*: losing a shard
+loses only that shard's winners, never the solve.  The shard map therefore
+harvests futures individually (instead of ``Executor.map``) so that
+
+* a shard exceeding ``shard_timeout_s`` or a crashed process-pool worker
+  (``BrokenProcessPool``) abandons the pool — ``shutdown(wait=False,
+  cancel_futures=True)`` — harvests whatever already finished, and re-runs
+  the unfinished shards **serially in-process** with bounded exponential-
+  backoff retries;
+* a shard that still fails serially contributes zero winners and a
+  structured entry in ``metadata["sharding"]["failures"]`` — the core-set
+  simply shrinks, the final stage still runs, and
+  ``metadata["degraded"] = True`` flags the loss;
+* a cooperative :class:`~repro.utils.deadline.Deadline` caps the whole
+  pipeline: it is shipped *into* every shard solve (re-anchoring across
+  process boundaries) and checked between harvests, so expiry stops
+  dispatching, keeps the winners gathered so far, and returns an interrupted
+  but feasible result;
+* periodic :class:`~repro.core.checkpoint.SolveCheckpoint` snapshots record
+  the global winners of every solved shard, so a resumed run skips straight
+  to the shards that were lost.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro._types import Element
+from repro.core.checkpoint import SolveCheckpoint
 from repro.core.local_search import LocalSearchConfig
 from repro.core.objective import Objective
 from repro.core.restriction import Restriction
-from repro.core.result import SolverResult
+from repro.core.result import SolverResult, build_result
 from repro.exceptions import InvalidParameterError
 from repro.functions.base import SetFunction
 from repro.metrics.base import Metric
 from repro.metrics.matrix import DistanceMatrix
+from repro.utils.deadline import Deadline, mark_interrupted
 from repro.utils.timing import Stopwatch
 from repro.utils.validation import check_candidate_pool
 
@@ -59,6 +85,10 @@ __all__ = ["shard_pool", "solve_sharded"]
 _LAZY_FRIENDLY_ALGORITHMS = frozenset({"auto", "greedy", "mmr"})
 
 _EXECUTORS = ("thread", "process")
+
+#: Ceiling on a single retry backoff sleep so a misconfigured
+#: ``retry_backoff_s`` cannot stall the serial fallback for minutes.
+_MAX_BACKOFF_SECONDS = 5.0
 
 
 def shard_pool(
@@ -124,23 +154,33 @@ def _materialize_objective(objective: Objective) -> Objective:
 
 
 def _solve_shard(
-    payload: Tuple[Objective, str, int, Optional[LocalSearchConfig], bool],
+    payload: Tuple[
+        Objective, str, int, Optional[LocalSearchConfig], bool, Optional[Deadline]
+    ],
 ) -> Tuple[List[Element], float]:
     """Solve one shard sub-instance; returns (local winners, elapsed seconds).
 
     Top-level so process pools can pickle it.  Materialization happens *here*
     rather than in the parent, so with a pool the block computations run in
     the workers (threads: NumPy releases the GIL; processes: each worker owns
-    its block) and the parent never holds more than one shard's payload.
+    its block) and the parent never holds more than one shard's payload.  The
+    deadline rides along in the payload: pickling re-anchors it with the
+    parent's remaining budget, so even inside a process-pool worker the
+    per-shard greedy stops cooperatively.
     """
-    objective, algorithm, p, config, materialize = payload
+    objective, algorithm, p, config, materialize, deadline = payload
     from repro.core.solver import _dispatch
 
     started = time.perf_counter()
     if materialize:
         objective = _materialize_objective(objective)
     result = _dispatch(
-        objective, algorithm, p=p, matroid=None, local_search_config=config
+        objective,
+        algorithm,
+        p=p,
+        matroid=None,
+        local_search_config=config,
+        deadline=deadline,
     )
     return sorted(result.selected), time.perf_counter() - started
 
@@ -161,6 +201,13 @@ def solve_sharded(
     max_workers: Optional[int] = None,
     executor: str = "thread",
     local_search_config: Optional[LocalSearchConfig] = None,
+    deadline: Union[None, float, Deadline] = None,
+    shard_timeout_s: Optional[float] = None,
+    shard_retries: int = 1,
+    retry_backoff_s: float = 0.05,
+    checkpoint_every: Optional[int] = None,
+    on_checkpoint: Optional[Callable[[SolveCheckpoint], None]] = None,
+    resume_from: Optional[SolveCheckpoint] = None,
 ) -> SolverResult:
     """Solve a huge cardinality-constrained instance via a sharded core-set.
 
@@ -204,14 +251,44 @@ def solve_sharded(
         into the parent, see :class:`~repro.utils.timing.Stopwatch`).
     local_search_config:
         Forwarded to any local-search stage (shard and final).
+    deadline:
+        Optional cooperative wall-clock budget (seconds or a
+        :class:`~repro.utils.deadline.Deadline`) covering the whole pipeline.
+        It is shipped into every shard solve and checked between shard
+        harvests and before the final stage; on expiry the result is built
+        from whatever winners exist with ``metadata["interrupted"] = True``.
+    shard_timeout_s:
+        Per-shard wall-clock timeout for pooled shard solves.  A shard that
+        exceeds it is treated as lost: the pool is abandoned (a hung worker
+        cannot be cancelled individually), finished shards are harvested and
+        the unfinished ones re-run serially in-process.
+    shard_retries:
+        Bounded retry budget for *failing* (raising) shard solves in the
+        serial fallback path, with exponential backoff starting at
+        ``retry_backoff_s``.  0 disables retries.
+    retry_backoff_s:
+        Initial backoff sleep between serial retries, doubled per attempt
+        (capped at 5 s).
+    checkpoint_every, on_checkpoint:
+        Emit a pickle-safe :class:`~repro.core.checkpoint.SolveCheckpoint`
+        recording every solved shard's global winners after each
+        ``checkpoint_every`` shard completions (default 1 when only the
+        callback is given).
+    resume_from:
+        A ``kind="sharded"`` checkpoint from a previous run over the *same
+        partition* (shard layout is verified): already-solved shards are
+        skipped and their recorded winners reused.  Ignored by the
+        single-shard degenerate path.
 
     Returns
     -------
     SolverResult
         Expressed in the original universe's indices.  ``metadata["sharding"]``
-        records the shard layout, core-set size, executor and the summed
-        per-shard solve seconds; ``metadata["candidates"]`` is the user's
-        pool when one was given.
+        records the shard layout, core-set size, executor, the summed
+        per-shard solve seconds and any per-shard ``failures``;
+        ``metadata["candidates"]`` is the user's pool when one was given, and
+        ``metadata["degraded"]`` is ``True`` when any shard was lost or the
+        pool fell back to serial execution.
     """
     started = time.perf_counter()
     if executor not in _EXECUTORS:
@@ -226,6 +303,17 @@ def solve_sharded(
         raise InvalidParameterError(
             f"cardinality p must be a non-negative integer, got {p!r}"
         )
+    if shard_timeout_s is not None and shard_timeout_s <= 0:
+        raise InvalidParameterError("shard_timeout_s must be positive")
+    if shard_retries < 0:
+        raise InvalidParameterError("shard_retries must be non-negative")
+    if retry_backoff_s < 0:
+        raise InvalidParameterError("retry_backoff_s must be non-negative")
+    if checkpoint_every is not None and checkpoint_every < 1:
+        raise InvalidParameterError("checkpoint_every must be at least 1")
+    if on_checkpoint is not None and checkpoint_every is None:
+        checkpoint_every = 1
+    deadline = Deadline.coerce(deadline)
 
     objective = Objective(quality, metric, tradeoff)
     if candidates is not None:
@@ -241,6 +329,8 @@ def solve_sharded(
 
     if len(parts) <= 1:
         # One shard ≡ the plain solve; delegate so results are bit-identical.
+        # Checkpoint/resume does not apply to the degenerate path (there is
+        # no shard progress to snapshot); the deadline still does.
         from repro.core.solver import solve
 
         result = solve(
@@ -251,6 +341,7 @@ def solve_sharded(
             algorithm=algorithm,
             candidates=user_pool,
             local_search_config=local_search_config,
+            deadline_s=deadline,
         )
         metadata = dict(result.metadata)
         metadata["sharding"] = {
@@ -283,15 +374,37 @@ def solve_sharded(
     if materialize_shards is None:
         materialize_shards = shard_algorithm not in _LAZY_FRIENDLY_ALGORITHMS
 
+    shard_sizes = tuple(int(part.size) for part in parts)
+    resumed: Dict[int, np.ndarray] = {}
+    if resume_from is not None:
+        resume_from.require("sharded", objective.n)
+        if tuple(resume_from.shard_sizes) != shard_sizes:
+            raise InvalidParameterError(
+                f"checkpoint shard layout {tuple(resume_from.shard_sizes)} does "
+                f"not match the current partition {shard_sizes}"
+            )
+        resumed = {
+            int(index): np.asarray(tuple(global_winners), dtype=int)
+            for index, global_winners in resume_from.shard_winners.items()
+        }
+
     # Build the shard sub-instances (cheap: lazy metric slices + weight
     # slices), keeping the winners of shards no bigger than their quota
-    # without solving at all.
+    # without solving at all, and skipping shards a resume checkpoint
+    # already covers.
     restrictions: List[Optional[Restriction]] = []
-    payloads = []
+    payloads: List[Tuple[int, tuple]] = []
     winners: List[np.ndarray] = [np.zeros(0, dtype=int)] * len(parts)
+    solved_mask = [False] * len(parts)
     for index, shard in enumerate(parts):
+        if index in resumed:
+            winners[index] = resumed[index]
+            solved_mask[index] = True
+            restrictions.append(None)
+            continue
         if shard.size <= keep:
             winners[index] = shard
+            solved_mask[index] = True
             restrictions.append(None)
             continue
         restriction = Restriction(
@@ -307,11 +420,158 @@ def solve_sharded(
                     keep,
                     local_search_config,
                     materialize_shards,
+                    deadline,
                 ),
             )
         )
 
     shard_watch = Stopwatch()
+    failures: List[dict] = []
+    interrupted = False
+    degraded = False
+    completions = 0
+
+    def emit_checkpoint() -> None:
+        on_checkpoint(
+            SolveCheckpoint(
+                kind="sharded",
+                n=objective.n,
+                p=p,
+                shard_winners={
+                    index: tuple(np.asarray(winners[index]).tolist())
+                    for index in range(len(parts))
+                    if solved_mask[index]
+                },
+                shard_sizes=shard_sizes,
+                elapsed_seconds=time.perf_counter() - started,
+                metadata={
+                    "algorithm": algorithm,
+                    "shard_algorithm": shard_algorithm,
+                },
+            )
+        )
+
+    def record_success(
+        index: int, local_winners: List[Element], elapsed: float
+    ) -> None:
+        nonlocal completions
+        restriction = restrictions[index]
+        winners[index] = np.asarray(restriction.to_global(local_winners), dtype=int)
+        solved_mask[index] = True
+        # Tolerant timing merge: only shards that actually finished report an
+        # elapsed time; lost workers simply contribute nothing here instead
+        # of poisoning the merged total.
+        shard_watch.add(elapsed)
+        completions += 1
+        if on_checkpoint is not None and completions % checkpoint_every == 0:
+            emit_checkpoint()
+
+    def record_failure(index: int, stage: str, error: BaseException) -> None:
+        failures.append({"shard": index, "stage": stage, "error": repr(error)})
+
+    def run_serial(tasks: List[Tuple[int, tuple]]) -> None:
+        """In-process shard solves with bounded exponential-backoff retries."""
+        nonlocal interrupted, degraded
+        for index, task in tasks:
+            if deadline is not None and deadline.expired():
+                interrupted = True
+                break
+            last_error: Optional[BaseException] = None
+            for attempt in range(shard_retries + 1):
+                if attempt and retry_backoff_s > 0:
+                    time.sleep(
+                        min(
+                            retry_backoff_s * (2 ** (attempt - 1)),
+                            _MAX_BACKOFF_SECONDS,
+                        )
+                    )
+                try:
+                    local_winners, elapsed = _solve_shard(task)
+                except Exception as error:
+                    last_error = error
+                    continue
+                record_success(index, local_winners, elapsed)
+                last_error = None
+                break
+            if last_error is not None:
+                # The shard is lost: record it and move on with a smaller
+                # core-set rather than failing the whole solve.
+                degraded = True
+                record_failure(index, "serial", last_error)
+
+    def run_pool(tasks: List[Tuple[int, tuple]]) -> List[Tuple[int, tuple]]:
+        """Pooled shard map; returns the shards that need the serial fallback.
+
+        Futures are harvested in submission order with a per-shard timeout.
+        Any unrecoverable pool condition — a shard overrunning
+        ``shard_timeout_s`` (a hung worker cannot be cancelled individually)
+        or a crashed worker process (``BrokenProcessPool``) — abandons the
+        pool with ``shutdown(wait=False, cancel_futures=True)``, keeps every
+        already-finished shard's result, and hands the rest back for serial
+        in-process execution.  The pool is never allowed to kill the solve.
+        """
+        nonlocal interrupted, degraded
+        from concurrent.futures import (
+            BrokenExecutor,
+            ProcessPoolExecutor,
+            ThreadPoolExecutor,
+        )
+        from concurrent.futures import TimeoutError as FutureTimeoutError
+
+        pool_cls = ThreadPoolExecutor if executor == "thread" else ProcessPoolExecutor
+        fallback: List[Tuple[int, tuple]] = []
+        workers = pool_cls(max_workers=max_workers)
+        abandoned = False
+        try:
+            submitted = [
+                (index, task, workers.submit(_solve_shard, task))
+                for index, task in tasks
+            ]
+            for index, task, future in submitted:
+                if abandoned:
+                    # Completed futures keep their results even after the
+                    # pool broke or was abandoned; harvest them for free.
+                    if future.done():
+                        try:
+                            record_success(index, *future.result(timeout=0))
+                        except Exception as error:
+                            record_failure(index, "worker", error)
+                            fallback.append((index, task))
+                    elif not interrupted:
+                        fallback.append((index, task))
+                    continue
+                budget = shard_timeout_s
+                if deadline is not None:
+                    remaining = deadline.remaining()
+                    budget = remaining if budget is None else min(budget, remaining)
+                try:
+                    local_winners, elapsed = future.result(timeout=budget)
+                except FutureTimeoutError as error:
+                    abandoned = True
+                    if deadline is not None and deadline.expired():
+                        # The global budget ran out, not the shard; skip the
+                        # unfinished shards without blaming them.
+                        interrupted = True
+                    else:
+                        degraded = True
+                        record_failure(index, "worker_timeout", error)
+                        fallback.append((index, task))
+                except BrokenExecutor as error:
+                    abandoned = True
+                    degraded = True
+                    record_failure(index, "worker_crash", error)
+                    fallback.append((index, task))
+                except Exception as error:
+                    # The shard itself raised inside a healthy worker; retry
+                    # it serially, keep harvesting the others from the pool.
+                    record_failure(index, "worker", error)
+                    fallback.append((index, task))
+                else:
+                    record_success(index, local_winners, elapsed)
+        finally:
+            workers.shutdown(wait=False, cancel_futures=True)
+        return fallback
+
     weights_view = getattr(objective.quality, "weights_view", None)
     array_backed = weights_view is not None and weights_view() is not None
     # Thread-pooled shard maps need every oracle touched by a worker to be a
@@ -333,20 +593,52 @@ def solve_sharded(
             )
         )
     )
-    if use_pool:
-        from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-
-        pool_cls = ThreadPoolExecutor if executor == "thread" else ProcessPoolExecutor
-        with pool_cls(max_workers=max_workers) as workers:
-            solved = list(workers.map(_solve_shard, [task for _, task in payloads]))
+    if deadline is not None and deadline.expired():
+        interrupted = True
+    elif use_pool:
+        fallback = run_pool(payloads)
+        if fallback:
+            degraded = True
+            run_serial(fallback)
     else:
-        solved = [_solve_shard(task) for _, task in payloads]
-    for (index, _), (local_winners, elapsed) in zip(payloads, solved):
-        restriction = restrictions[index]
-        winners[index] = np.asarray(restriction.to_global(local_winners), dtype=int)
-        shard_watch.add(elapsed)
+        run_serial(payloads)
 
     core = np.sort(np.concatenate(winners))
+    if core.size == 0:
+        # Every shard was lost (or the deadline expired before any winners
+        # existed): the only feasible answer left is the empty selection.
+        metadata = {"p": p}
+        if user_pool is not None:
+            metadata["candidates"] = tuple(user_pool.tolist())
+        metadata["sharding"] = {
+            "shards": len(parts),
+            "shard_sizes": list(shard_sizes),
+            "core_size": 0,
+            "per_shard_p": keep,
+            "shard_algorithm": shard_algorithm,
+            "materialized_shards": bool(materialize_shards),
+            "executor": executor if use_pool else None,
+            "shard_seconds": shard_watch.elapsed_seconds,
+            "failures": failures,
+            "failed_shards": sorted(
+                index for index in range(len(parts)) if not solved_mask[index]
+            ),
+        }
+        if degraded:
+            metadata["degraded"] = True
+            metadata["degradation"] = "shard_map"
+        if interrupted:
+            mark_interrupted(metadata, deadline, "shard_map")
+        return build_result(
+            objective,
+            set(),
+            [],
+            algorithm=algorithm,
+            iterations=0,
+            elapsed_seconds=time.perf_counter() - started,
+            metadata=metadata,
+        )
+
     final_materialize = algorithm not in _LAZY_FRIENDLY_ALGORITHMS
     final_restriction = Restriction(
         objective, core, metric=_sub_metric(metric, core, final_materialize)
@@ -361,12 +653,13 @@ def solve_sharded(
         from repro.core.local_search import local_search_diversify
         from repro.matroids.uniform import UniformMatroid
 
-        seed = greedy_diversify(final_restriction.objective, final_p)
+        seed = greedy_diversify(final_restriction.objective, final_p, deadline=deadline)
         final = local_search_diversify(
             final_restriction.objective,
             UniformMatroid(final_restriction.n, final_p),
             config=local_search_config,
             initial=seed.selected,
+            deadline=deadline,
         )
     else:
         final = _dispatch(
@@ -375,6 +668,7 @@ def solve_sharded(
             p=final_p,
             matroid=None,
             local_search_config=local_search_config,
+            deadline=deadline,
         )
     result = final_restriction.lift(final)
 
@@ -385,7 +679,7 @@ def solve_sharded(
         del metadata["candidates"]
     metadata["sharding"] = {
         "shards": len(parts),
-        "shard_sizes": [int(part.size) for part in parts],
+        "shard_sizes": list(shard_sizes),
         "core_size": int(core.size),
         "per_shard_p": keep,
         "shard_algorithm": shard_algorithm,
@@ -393,6 +687,18 @@ def solve_sharded(
         "executor": executor if use_pool else None,
         "shard_seconds": shard_watch.elapsed_seconds,
     }
+    if failures or any(not flag for flag in solved_mask):
+        metadata["sharding"]["failures"] = failures
+        metadata["sharding"]["failed_shards"] = sorted(
+            index for index in range(len(parts)) if not solved_mask[index]
+        )
+    if resumed:
+        metadata["sharding"]["resumed_shards"] = sorted(resumed)
+    if degraded:
+        metadata["degraded"] = True
+        metadata["degradation"] = "shard_map"
+    if interrupted:
+        mark_interrupted(metadata, deadline, "shard_map")
     return SolverResult(
         selected=result.selected,
         order=result.order,

@@ -8,10 +8,11 @@ appropriate algorithm and returns a :class:`~repro.core.result.SolverResult`.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional, Union
 
 from repro._types import Element
 from repro.core.baselines import gollapudi_sharma_greedy, matching_diversify
+from repro.core.checkpoint import SolveCheckpoint
 from repro.core.exact import exact_diversify
 from repro.core.greedy import greedy_diversify
 from repro.core.local_search import LocalSearchConfig, local_search_diversify
@@ -23,6 +24,7 @@ from repro.functions.base import SetFunction
 from repro.matroids.base import Matroid
 from repro.matroids.uniform import UniformMatroid
 from repro.metrics.base import Metric
+from repro.utils.deadline import Deadline
 
 #: Algorithms accepted by :func:`solve`.
 ALGORITHMS = (
@@ -51,6 +53,10 @@ def solve(
     shards: Optional[int] = None,
     shard_size: Optional[int] = None,
     shard_workers: Optional[int] = None,
+    deadline_s: Union[None, float, Deadline] = None,
+    checkpoint_every: Optional[int] = None,
+    on_checkpoint: Optional[Callable[[SolveCheckpoint], None]] = None,
+    resume_from: Optional[SolveCheckpoint] = None,
 ) -> SolverResult:
     """Solve a max-sum diversification instance.
 
@@ -87,6 +93,23 @@ def solve(
         ``algorithm`` runs on the union of the shard winners.  This is the
         path for universes too large to materialize O(n²) distances;
         cardinality constraints only.
+    deadline_s:
+        Optional cooperative wall-clock budget in seconds (or a pre-built
+        :class:`~repro.utils.deadline.Deadline` to share one clock across
+        calls).  Every algorithm polls it at loop boundaries and, on expiry,
+        stops and returns its best-so-far **feasible** solution instead of
+        raising; ``result.metadata["interrupted"]`` is ``True`` and
+        ``result.metadata["phase"]`` names the stage that was cut short.
+    checkpoint_every, on_checkpoint:
+        Periodic checkpointing for the greedy and sharded paths: a
+        pickle-safe :class:`~repro.core.checkpoint.SolveCheckpoint` is passed
+        to ``on_checkpoint`` after every ``checkpoint_every`` units of
+        progress (greedy selections, or solved shards).
+    resume_from:
+        A checkpoint from a previous (interrupted) run of the same instance;
+        the solve replays it and continues.  Only the greedy and sharded
+        paths support resuming — other algorithms raise
+        :class:`~repro.exceptions.InvalidParameterError`.
 
     Returns
     -------
@@ -118,8 +141,13 @@ def solve(
             candidates=candidates,
             max_workers=shard_workers,
             local_search_config=local_search_config,
+            deadline=deadline_s,
+            checkpoint_every=checkpoint_every,
+            on_checkpoint=on_checkpoint,
+            resume_from=resume_from,
         )
 
+    deadline = Deadline.coerce(deadline_s)
     objective = Objective(quality, metric, tradeoff)
     if matroid is not None and matroid.n != objective.n:
         raise InvalidParameterError(
@@ -138,10 +166,22 @@ def solve(
             p=p,
             matroid=sub_matroid,
             local_search_config=local_search_config,
+            deadline=deadline,
+            checkpoint_every=checkpoint_every,
+            on_checkpoint=on_checkpoint,
+            resume_from=resume_from,
         )
         return restriction.lift(result)
     return _dispatch(
-        objective, algorithm, p=p, matroid=matroid, local_search_config=local_search_config
+        objective,
+        algorithm,
+        p=p,
+        matroid=matroid,
+        local_search_config=local_search_config,
+        deadline=deadline,
+        checkpoint_every=checkpoint_every,
+        on_checkpoint=on_checkpoint,
+        resume_from=resume_from,
     )
 
 
@@ -152,6 +192,10 @@ def _dispatch(
     p: Optional[int],
     matroid: Optional[Matroid],
     local_search_config: Optional[LocalSearchConfig],
+    deadline: Optional[Deadline] = None,
+    checkpoint_every: Optional[int] = None,
+    on_checkpoint: Optional[Callable[[SolveCheckpoint], None]] = None,
+    resume_from: Optional[SolveCheckpoint] = None,
 ) -> SolverResult:
     """Run ``algorithm`` on an (already restricted) objective.
 
@@ -159,10 +203,20 @@ def _dispatch(
     :func:`repro.core.batch.solve_many` front end; candidate pools never reach
     it — they are re-indexed away by the restriction layer in the callers.
     """
+    checkpointing = (
+        checkpoint_every is not None
+        or on_checkpoint is not None
+        or resume_from is not None
+    )
+    if checkpointing and algorithm not in ("auto", "greedy", "greedy_best_pair"):
+        raise InvalidParameterError(
+            f"checkpoint/resume is supported by the greedy and sharded paths "
+            f"only, not algorithm {algorithm!r}"
+        )
     if matroid is not None:
         if algorithm in ("auto", "local_search"):
             return local_search_diversify(
-                objective, matroid, config=local_search_config
+                objective, matroid, config=local_search_config, deadline=deadline
             )
         if algorithm == "exact":
             return exact_diversify(objective, matroid=matroid)
@@ -172,10 +226,16 @@ def _dispatch(
         )
 
     assert p is not None
+    greedy_kwargs = dict(
+        deadline=deadline,
+        checkpoint_every=checkpoint_every,
+        on_checkpoint=on_checkpoint,
+        resume_from=resume_from,
+    )
     if algorithm == "auto" or algorithm == "greedy":
-        return greedy_diversify(objective, p)
+        return greedy_diversify(objective, p, **greedy_kwargs)
     if algorithm == "greedy_best_pair":
-        return greedy_diversify(objective, p, start="best_pair")
+        return greedy_diversify(objective, p, start="best_pair", **greedy_kwargs)
     if algorithm == "greedy_a":
         return gollapudi_sharma_greedy(objective, p)
     if algorithm == "greedy_a_improved":
@@ -186,7 +246,10 @@ def _dispatch(
         return mmr_select(objective, p)
     if algorithm == "local_search":
         return local_search_diversify(
-            objective, UniformMatroid(objective.n, p), config=local_search_config
+            objective,
+            UniformMatroid(objective.n, p),
+            config=local_search_config,
+            deadline=deadline,
         )
     if algorithm == "exact":
         return exact_diversify(objective, p)

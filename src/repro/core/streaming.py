@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -45,6 +45,7 @@ from repro.core.objective import Objective
 from repro.core.result import SolverResult, build_result
 from repro.exceptions import InvalidParameterError
 from repro.functions.base import GainState
+from repro.utils.deadline import Deadline, mark_interrupted
 
 
 @dataclass
@@ -82,6 +83,7 @@ class StreamingDiversifier:
     _margins: Optional[Dict[Element, float]] = field(
         default=None, init=False, repr=False
     )
+    _interrupted: bool = field(default=False, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.p < 1:
@@ -231,11 +233,35 @@ class StreamingDiversifier:
         self._swaps += 1
         return True
 
-    def process_stream(self, elements: Iterable[Element]) -> "StreamingDiversifier":
-        """Process a whole iterable of arrivals (returns ``self`` for chaining)."""
+    def process_stream(
+        self,
+        elements: Iterable[Element],
+        *,
+        deadline: Union[None, float, Deadline] = None,
+    ) -> "StreamingDiversifier":
+        """Process a whole iterable of arrivals (returns ``self`` for chaining).
+
+        With a ``deadline`` the loop polls
+        :meth:`~repro.utils.deadline.Deadline.expired` before each arrival
+        and stops processing on expiry; the solution kept so far stays valid
+        (it always has at most ``p`` elements) and unprocessed arrivals are
+        simply dropped, as a real stream would drop them under back-pressure.
+        Whether the stream was cut short is reported by
+        :attr:`interrupted`.
+        """
+        deadline = Deadline.coerce(deadline)
+        self._interrupted = False
         for element in elements:
+            if deadline is not None and deadline.expired():
+                self._interrupted = True
+                break
             self.process(element)
         return self
+
+    @property
+    def interrupted(self) -> bool:
+        """Whether the last :meth:`process_stream` hit its deadline."""
+        return self._interrupted
 
     def result(self, *, elapsed_seconds: float = 0.0) -> SolverResult:
         """Package the current solution as a :class:`SolverResult`."""
@@ -261,6 +287,7 @@ def streaming_diversify(
     *,
     improvement_margin: float = 0.0,
     candidates: Optional[Iterable[Element]] = None,
+    deadline: Union[None, float, Deadline] = None,
 ) -> SolverResult:
     """One-shot convenience wrapper: stream the universe through a StreamingDiversifier.
 
@@ -279,6 +306,12 @@ def streaming_diversify(
         Optional candidate pool, routed through the restriction layer: the
         stream runs over the re-indexed sub-instance and the result is lifted
         back.  Every arrival must belong to the pool.
+    deadline:
+        Optional cooperative wall-clock budget (seconds or a
+        :class:`~repro.utils.deadline.Deadline`).  Checked before each
+        arrival; on expiry the remaining arrivals are dropped and the
+        solution built so far is returned with
+        ``metadata["interrupted"] = True``.
     """
     if candidates is not None:
         restriction = objective.restrict(candidates)
@@ -290,13 +323,18 @@ def streaming_diversify(
             p,
             sub_order,
             improvement_margin=improvement_margin,
+            deadline=deadline,
         )
         return restriction.lift(result)
 
     started = time.perf_counter()
+    deadline = Deadline.coerce(deadline)
     order: Tuple[Element, ...] = (
         tuple(range(objective.n)) if arrival_order is None else tuple(arrival_order)
     )
     engine = StreamingDiversifier(objective, p, improvement_margin=improvement_margin)
-    engine.process_stream(order)
-    return engine.result(elapsed_seconds=time.perf_counter() - started)
+    engine.process_stream(order, deadline=deadline)
+    result = engine.result(elapsed_seconds=time.perf_counter() - started)
+    if engine.interrupted:
+        mark_interrupted(result.metadata, deadline, "streaming_arrivals")
+    return result

@@ -19,7 +19,7 @@ Package contents:
   worst-ratio tracking of Section 7.3 (Figure 1).
 """
 
-from repro.dynamic.engine import DynamicDiversifier
+from repro.dynamic.engine import DynamicDiversifier, EngineSnapshot
 from repro.dynamic.perturbation import (
     DistanceDecrease,
     DistanceIncrease,
@@ -51,6 +51,7 @@ __all__ = [
     "DistanceIncrease",
     "DistanceDecrease",
     "DynamicDiversifier",
+    "EngineSnapshot",
     "oblivious_update",
     "update_until_stable",
     "required_updates_for_weight_decrease",

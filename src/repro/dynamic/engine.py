@@ -12,6 +12,7 @@ simulation of Section 7.3 can track the worst observed approximation ratio.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import FrozenSet, Iterable, List, Optional, Tuple
 
 import numpy as np
@@ -37,6 +38,28 @@ from repro.exceptions import InvalidParameterError, PerturbationError
 from repro.functions.modular import ModularFunction
 from repro.metrics.matrix import DistanceMatrix
 from repro.metrics.validation import triangle_violations
+
+
+@dataclass(frozen=True)
+class EngineSnapshot:
+    """A pickle-safe snapshot of a :class:`DynamicDiversifier`.
+
+    Captures the *instance* (weights, distances, λ, p) and the maintained
+    solution as plain arrays/tuples — no live views, locks or oracles — so a
+    long-running dynamic session can be persisted across process boundaries
+    and restored with :meth:`DynamicDiversifier.restore`.  The perturbation
+    history is deliberately not captured: it is diagnostic, unbounded, and
+    the restored engine starts a fresh one (``applied_perturbations`` records
+    how many the snapshot had seen).
+    """
+
+    weights: np.ndarray
+    distances: np.ndarray
+    p: int
+    tradeoff: float
+    solution: Tuple[Element, ...]
+    validate_metric: bool = False
+    applied_perturbations: int = 0
 
 
 class DynamicDiversifier:
@@ -256,3 +279,46 @@ class DynamicDiversifier:
         result = greedy_diversify(self.objective, self._p)
         self._solution = set(result.selected)
         return frozenset(self._solution)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot(self) -> EngineSnapshot:
+        """Capture the current instance and solution as an :class:`EngineSnapshot`.
+
+        The snapshot owns copies of the weight vector and distance matrix, so
+        later perturbations of this engine do not leak into it (and vice
+        versa).  It pickles cleanly — use it to persist a dynamic session to
+        disk or ship it across processes.
+        """
+        return EngineSnapshot(
+            weights=np.array(self._weights.weights_view(), copy=True),
+            distances=np.array(self._distances.matrix_view(), copy=True),
+            p=self._p,
+            tradeoff=self._tradeoff,
+            solution=tuple(sorted(self._solution)),
+            validate_metric=self._validate_metric,
+            applied_perturbations=len(self._history),
+        )
+
+    @classmethod
+    def restore(cls, snapshot: EngineSnapshot) -> "DynamicDiversifier":
+        """Rebuild an engine from a :meth:`snapshot`.
+
+        The restored engine carries the snapshot's instance and solution and
+        an empty history; applying the same perturbation stream to the
+        original and the restored engine from the snapshot point onward
+        yields identical solutions (the update rule is deterministic).
+        """
+        if not isinstance(snapshot, EngineSnapshot):
+            raise InvalidParameterError(
+                f"restore expects an EngineSnapshot, got {type(snapshot).__name__}"
+            )
+        return cls(
+            snapshot.weights,
+            snapshot.distances,
+            snapshot.p,
+            tradeoff=snapshot.tradeoff,
+            initial_solution=snapshot.solution,
+            validate_metric=snapshot.validate_metric,
+        )

@@ -12,8 +12,41 @@ class ReproError(Exception):
     """Base class for all errors raised by the library."""
 
 
+class ReproWarning(UserWarning):
+    """Base class for all warnings issued by the library.
+
+    Warnings signal *degraded but recoverable* situations: the solve
+    completes and returns a feasible answer, but some fast path was abandoned
+    or some guarantee weakened.  Callers that prefer hard failures can turn
+    them into errors with ``warnings.simplefilter("error", ReproWarning)``.
+    """
+
+
+class NumericalDegradationWarning(ReproWarning):
+    """A numerical fast path broke down and a slower/safer fallback took over.
+
+    Emitted when a Cholesky-based incremental gain state hits a non-positive
+    pivot and has to escalate its jitter or fall back to the generic oracle
+    gain path (:mod:`repro.functions.log_det`), or when a vectorized swap
+    scan finds non-finite gains and sanitizes them before selecting a move
+    (:mod:`repro.core.kernels`).  The solve still completes; the warning
+    records that its fast-path guarantees (and possibly a few ulps of
+    accuracy) were traded for robustness.
+    """
+
+
 class InvalidParameterError(ReproError, ValueError):
     """A caller supplied a parameter outside its documented domain."""
+
+
+class NonFiniteDataError(ReproError, ValueError):
+    """Input data (weights, distances, features) contains NaN or ±inf.
+
+    Raised eagerly at construction time — :class:`~repro.core.objective.Objective`,
+    the concrete metrics and the modular quality family all validate their
+    arrays — so a NaN planted in a corpus fails fast with a clear message
+    instead of silently poisoning argmax-based selection downstream.
+    """
 
 
 class MetricError(ReproError):

@@ -17,24 +17,39 @@ per-candidate ``slogdet`` anywhere on the fast path.
 from __future__ import annotations
 
 import math
+import warnings
 
-from typing import Iterable
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro._types import Element
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import InvalidParameterError, NumericalDegradationWarning
 from repro.functions.base import Candidates, GainState, SetFunction
 
 #: Slack added to the diagonal before the PSD Cholesky probe, matching the
 #: old ``eigvalsh`` check's tolerance (minimum eigenvalue ≥ -1e-6).
 _PSD_TOLERANCE = 1e-6
 
+#: Factor by which the state's jitter is escalated when the incremental
+#: Cholesky hits a non-positive pivot, and how many escalating rebuilds are
+#: attempted before the state gives up its fast path entirely.
+_JITTER_ESCALATION = 100.0
+_MAX_JITTER_REBUILDS = 3
+_MIN_JITTER = 1e-12
+
 
 class _LogDetGainState(GainState):
-    """Growing Cholesky rows ``L⁻¹ K_{S,·}`` plus the universe residual vector."""
+    """Growing Cholesky rows ``L⁻¹ K_{S,·}`` plus the universe residual vector.
 
-    __slots__ = ("rows", "residual")
+    Carries its own ``jitter`` (escalated on numerical breakdown, see
+    :meth:`LogDeterminantFunction.push`), a ``rebuilds`` counter bounding the
+    escalation, and a ``degraded`` flag: once set, the Cholesky fast path is
+    abandoned for this state and :meth:`LogDeterminantFunction.gains` serves
+    batches through the generic value-oracle marginal loop instead.
+    """
+
+    __slots__ = ("rows", "residual", "jitter", "degraded", "rebuilds")
 
 
 class LogDeterminantFunction(SetFunction):
@@ -67,10 +82,10 @@ class LogDeterminantFunction(SetFunction):
             shifted = matrix + _PSD_TOLERANCE * np.eye(matrix.shape[0])
             try:
                 np.linalg.cholesky(shifted)
-            except np.linalg.LinAlgError:
+            except np.linalg.LinAlgError as error:
                 raise InvalidParameterError(
                     "kernel must be positive semi-definite"
-                ) from None
+                ) from error
         self._kernel = matrix
         self._jitter = float(jitter)
 
@@ -86,8 +101,20 @@ class LogDeterminantFunction(SetFunction):
         block = self._kernel[np.ix_(idx, idx)]
         gram = np.eye(len(idx)) * (1.0 + self._jitter) + block
         sign, logdet = np.linalg.slogdet(gram)
-        if sign <= 0:  # pragma: no cover - defensive; PSD + I is always positive
-            raise InvalidParameterError("kernel block is not positive definite")
+        if sign <= 0:
+            # A PSD kernel plus the identity is positive definite on paper,
+            # but a near-PSD kernel (accumulated round-off, a borderline
+            # Gram matrix) can push slogdet over the edge.  Clamp the
+            # spectrum rather than failing the solve.
+            warnings.warn(
+                "log-det block is numerically non-positive-definite; "
+                "clamping its eigenvalues",
+                NumericalDegradationWarning,
+                stacklevel=2,
+            )
+            eigenvalues = np.linalg.eigvalsh(gram)
+            clamped = np.maximum(eigenvalues, np.finfo(float).tiny)
+            return float(np.sum(np.log(clamped)))
         return float(logdet)
 
     # ------------------------------------------------------------------
@@ -97,28 +124,97 @@ class LogDeterminantFunction(SetFunction):
         """Build the Cholesky/residual state by pushing the subset in order."""
         state = _LogDetGainState(())
         state.rows = []
-        state.residual = self._kernel.diagonal() + (1.0 + self._jitter)
+        state.jitter = self._jitter
+        state.degraded = False
+        state.rebuilds = 0
+        state.residual = self._kernel.diagonal() + (1.0 + state.jitter)
         for element in sorted(set(subset)):
             self.push(state, element)
         return state
 
     def gains(self, candidates: Candidates, state: _LogDetGainState) -> np.ndarray:
         """Batch marginals as ``log`` of a residual slice — no ``slogdet``."""
+        if state.degraded:
+            # Cholesky state is gone; serve the batch through the generic
+            # value-oracle marginal loop (slow but always defined).
+            return SetFunction.gains(self, candidates, state)
         idx = np.asarray(candidates, dtype=int)
         if idx.size == 0:
             return np.zeros(0, dtype=float)
         residual = np.maximum(state.residual[idx], np.finfo(float).tiny)
         return state.mask_members(idx, np.log(residual))
 
+    def _factor(
+        self, members: List[Element], jitter: float
+    ) -> Optional[Tuple[List[np.ndarray], np.ndarray]]:
+        """Factor ``members`` from scratch at ``jitter``; ``None`` on breakdown."""
+        rows: List[np.ndarray] = []
+        residual = self._kernel.diagonal() + (1.0 + jitter)
+        for element in members:
+            pivot_squared = float(residual[element])
+            if not pivot_squared > 0.0:
+                return None
+            projection = self._kernel[element].astype(float, copy=True)
+            for row in rows:
+                projection -= row[element] * row
+            row = projection / math.sqrt(pivot_squared)
+            rows.append(row)
+            residual = residual - row * row
+        return rows, residual
+
+    def _recover(self, state: _LogDetGainState, element: Element) -> None:
+        """Escalate jitter and rebuild, or degrade to the oracle gain path.
+
+        Called when a push hits a non-positive pivot.  Each rebuild multiplies
+        the state's jitter by ``_JITTER_ESCALATION`` and refactors the member
+        set from scratch; after ``_MAX_JITTER_REBUILDS`` failed escalations
+        the state flags itself ``degraded`` and drops its Cholesky arrays —
+        subsequent :meth:`gains` calls fall back to the generic marginal loop
+        and :meth:`push` only tracks membership.  Either way a
+        :class:`~repro.exceptions.NumericalDegradationWarning` is issued and
+        the solve continues.
+        """
+        members = sorted(state.members)
+        while state.rebuilds < _MAX_JITTER_REBUILDS:
+            state.rebuilds += 1
+            state.jitter = max(state.jitter, _MIN_JITTER) * _JITTER_ESCALATION
+            factored = self._factor(members, state.jitter)
+            if factored is not None:
+                state.rows, state.residual = factored
+                warnings.warn(
+                    f"log-det Cholesky hit a non-positive pivot at element "
+                    f"{element}; rebuilt with jitter escalated to "
+                    f"{state.jitter:.3g}",
+                    NumericalDegradationWarning,
+                    stacklevel=3,
+                )
+                return
+        state.degraded = True
+        state.rows = []
+        state.residual = None
+        warnings.warn(
+            f"log-det Cholesky state could not be stabilized after "
+            f"{state.rebuilds} jitter escalations (element {element}); "
+            "falling back to value-oracle marginal gains",
+            NumericalDegradationWarning,
+            stacklevel=3,
+        )
+
     def push(self, state: _LogDetGainState, element: Element) -> _LogDetGainState:
-        """O(|S|·n) rank-1 growth of the Cholesky factor and residuals."""
+        """O(|S|·n) rank-1 growth of the Cholesky factor and residuals.
+
+        A non-positive pivot (a numerically singular kernel block) no longer
+        raises: the state escalates its jitter a bounded number of times and,
+        failing that, degrades to the generic oracle gain path — see
+        :meth:`_recover`.
+        """
         super().push(state, element)
+        if state.degraded:
+            return state
         pivot_squared = float(state.residual[element])
-        if pivot_squared <= 0.0:  # pragma: no cover - degenerate kernels
-            state.members.discard(element)
-            raise InvalidParameterError(
-                f"element {element} makes the kernel block numerically singular"
-            )
+        if not pivot_squared > 0.0:
+            self._recover(state, element)
+            return state
         projection = self._kernel[element].astype(float, copy=True)
         for row in state.rows:
             projection -= row[element] * row

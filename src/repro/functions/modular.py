@@ -15,7 +15,7 @@ import numpy as np
 from repro._types import Element
 from repro.exceptions import InvalidParameterError
 from repro.functions.base import Candidates, GainState, SetFunction
-from repro.utils.validation import check_candidate_pool
+from repro.utils.validation import check_candidate_pool, check_finite_array
 
 
 class ModularFunction(SetFunction):
@@ -30,6 +30,8 @@ class ModularFunction(SetFunction):
                          dtype=float)
         if array.ndim != 1:
             raise InvalidParameterError("weights must be a 1-D array")
+        # NaN passes ``array < 0`` silently; reject it (and ±inf) up front.
+        check_finite_array("weights", array)
         if np.any(array < 0):
             raise InvalidParameterError("weights must be non-negative")
         self._weights = array

@@ -17,7 +17,7 @@ import numpy as np
 from repro._types import Element
 from repro.exceptions import InvalidParameterError
 from repro.metrics.base import Metric
-from repro.utils.validation import check_candidate_pool
+from repro.utils.validation import check_candidate_pool, check_finite_array
 
 #: Upper bound on the floats held by one chunk of a block computation.
 _BLOCK_CHUNK_FLOATS = 4 << 20
@@ -41,6 +41,9 @@ class CosineMetric(Metric):
         array = np.asarray(features, dtype=float)
         if array.ndim != 2:
             raise InvalidParameterError("features must be a 2-D array")
+        # Finiteness before the norm test: a NaN feature row yields a NaN
+        # norm, which passes ``norms == 0`` and poisons every distance.
+        check_finite_array("features", array)
         norms = np.linalg.norm(array, axis=1)
         if np.any(norms == 0):
             raise InvalidParameterError("feature vectors must be non-zero")

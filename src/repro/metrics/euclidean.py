@@ -14,7 +14,7 @@ import numpy as np
 from repro._types import Element
 from repro.exceptions import InvalidParameterError
 from repro.metrics.base import Metric
-from repro.utils.validation import check_candidate_pool
+from repro.utils.validation import check_candidate_pool, check_finite_array
 
 #: Upper bound on the number of floats a chunked block computation may hold
 #: in its intermediate ``chunk × cols × d`` difference tensor (32 MiB).
@@ -36,6 +36,7 @@ class EuclideanMetric(Metric):
             array = array[:, None]
         if array.ndim != 2:
             raise InvalidParameterError("points must be a 1-D or 2-D array")
+        check_finite_array("points", array)
         self._points = array
 
     @property

@@ -15,7 +15,7 @@ import numpy as np
 from repro._types import Element
 from repro.exceptions import InvalidParameterError, MetricError
 from repro.metrics.base import Metric
-from repro.utils.validation import check_candidate_pool
+from repro.utils.validation import check_candidate_pool, check_finite_array
 
 
 class DistanceMatrix(Metric):
@@ -48,6 +48,10 @@ class DistanceMatrix(Metric):
             raise InvalidParameterError(
                 f"distance matrix must be square, got shape {array.shape}"
             )
+        # Finiteness first: NaN would fail the symmetry allclose with a
+        # misleading message, and +inf would sail straight through the
+        # non-negativity check into argmax-based selection.
+        check_finite_array("distance matrix", array)
         if not np.allclose(array, array.T, atol=1e-12):
             raise MetricError("distance matrix must be symmetric")
         if np.any(array < 0):

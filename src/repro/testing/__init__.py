@@ -1,0 +1,13 @@
+"""Testing utilities: fault injection for the solver stack's recovery paths."""
+
+from repro.testing.faults import (
+    CrashingMetric,
+    CrashingSetFunction,
+    FaultyMetric,
+    FaultySetFunction,
+    NaNMetric,
+    NaNSetFunction,
+    SlowMetric,
+    WorkerKillingMetric,
+    kill_current_process,
+)

@@ -6,7 +6,25 @@ from typing import Iterable, Set
 
 import numpy as np
 
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import InvalidParameterError, NonFiniteDataError
+
+
+def check_finite_array(name: str, array: np.ndarray) -> np.ndarray:
+    """Raise :class:`NonFiniteDataError` if ``array`` holds NaN or ±inf.
+
+    The single finiteness gate shared by the metric and quality constructors
+    (and :class:`~repro.core.objective.Objective`): one vectorized
+    ``np.isfinite`` pass, with the first offending flat index reported so a
+    poisoned corpus row can be found.
+    """
+    finite = np.isfinite(array)
+    if not finite.all():
+        bad = int(np.flatnonzero(~finite.ravel())[0])
+        raise NonFiniteDataError(
+            f"{name} must be finite; found {array.ravel()[bad]!r} at flat "
+            f"index {bad}"
+        )
+    return array
 
 
 def check_non_negative(name: str, value: float) -> float:

@@ -404,3 +404,64 @@ class TestSolverWiring:
             quality, metric, [range(0, 50)], tradeoff=0.5, p=3, shards=2
         )
         assert len(results[0].selected) == 3
+
+
+class TestShardFailureFeasibility:
+    """Shard loss shrinks the core; the final solve must stay feasible."""
+
+    def test_partial_shard_loss_clips_p_to_surviving_core(self):
+        from repro.testing.faults import FaultyMetric
+
+        class ShardSizeCrash(FaultyMetric):
+            """Crash every oracle query made on a 4-element restriction.
+
+            ``n=14, shards=4`` partitions into sizes ``(4, 4, 3, 3)`` and
+            ``per_shard_p=3`` makes the two 3-element shards trivial winners
+            (no oracle calls) while the two 4-element shards must actually
+            solve — and die, on the pool attempt and the serial retry alike.
+            The surviving 6-element core (and the 14-element corpus metric)
+            never match the trigger, so only the shard map is faulty.
+            """
+
+            def _fault(self):
+                if self.n == 4:
+                    raise RuntimeError("injected shard fault")
+
+        rng = np.random.default_rng(5)
+        quality = ModularFunction(rng.uniform(1.0, 2.0, size=14))
+        metric = EuclideanMetric(rng.normal(size=(14, 2)))
+        result = solve_sharded(
+            quality,
+            ShardSizeCrash(metric),
+            tradeoff=0.5,
+            p=10,
+            shards=4,
+            per_shard_p=3,
+            shard_retries=1,
+            retry_backoff_s=0.0,
+        )
+        sharding = result.metadata["sharding"]
+        assert len(sharding["failed_shards"]) == 2
+        assert sharding["core_size"] == 6
+        # p=10 exceeds the surviving core: the final solve clips rather
+        # than raising an infeasibility error.
+        assert len(result.selected) == 6
+        assert result.metadata["degraded"] is True
+        assert result.selected <= set(range(14))
+
+    def test_full_shard_loss_reports_every_shard(self, feature_instance):
+        from repro.testing.faults import CrashingMetric
+
+        faulty = CrashingMetric(feature_instance.metric)
+        result = solve_sharded(
+            feature_instance.quality,
+            faulty,
+            tradeoff=0.5,
+            p=4,
+            shards=3,
+            shard_retries=0,
+            retry_backoff_s=0.0,
+        )
+        assert result.selected == frozenset()
+        assert result.metadata["sharding"]["failed_shards"] == [0, 1, 2]
+        assert result.metadata["degraded"] is True

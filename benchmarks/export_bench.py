@@ -27,7 +27,15 @@ from typing import Optional, Sequence
 #: first greedy iteration — the CELF contract caps it at 0.25).
 #: ``interrupted_solve_overhead`` is the fractional slowdown a generous
 #: deadline adds to the greedy loop (capped at 0.05 by the deadline guard).
-_GUARD_KEYS = ("speedup", "parity", "celf_fraction", "interrupted_solve_overhead")
+_GUARD_KEYS = (
+    "speedup",
+    "parity",
+    "celf_fraction",
+    "interrupted_solve_overhead",
+    "dynamic_events_per_sec",
+    "dynamic_drift",
+    "dynamic_tick_speedup",
+)
 
 
 def distill(report: dict, *, sha: Optional[str] = None) -> dict:

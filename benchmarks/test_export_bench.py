@@ -72,3 +72,29 @@ def test_main_round_trip(tmp_path):
     assert written["sha"] == "abc"
     assert len(written["benchmarks"]) == 4
     assert written["guards"]["test_swap_scan_speedup.speedup"] == 44.0
+
+
+def test_distill_collects_dynamic_guards():
+    report = {
+        "benchmarks": [
+            {
+                "name": "test_dynamic_events_per_sec",
+                "stats": {"min": 1.0, "mean": 1.1, "rounds": 1},
+                "extra_info": {
+                    "dynamic_events_per_sec": 25000.0,
+                    "dynamic_drift": 0.01,
+                },
+            },
+            {
+                "name": "test_dynamic_tick_speedup",
+                "stats": {"min": 0.2, "mean": 0.2, "rounds": 1},
+                "extra_info": {"dynamic_tick_speedup": 18.0},
+            },
+        ],
+    }
+    payload = export_bench.distill(report)
+    assert payload["guards"] == {
+        "test_dynamic_events_per_sec.dynamic_events_per_sec": 25000.0,
+        "test_dynamic_events_per_sec.dynamic_drift": 0.01,
+        "test_dynamic_tick_speedup.dynamic_tick_speedup": 18.0,
+    }

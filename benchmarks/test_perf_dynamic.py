@@ -1,0 +1,201 @@
+"""Performance guards for the batched dynamic event-stream tier.
+
+Two throughput contracts from the dynamic-engine refactor:
+
+* **Batched tick ≥10× the per-event path (n=10 000, dense).**  Applying a
+  tick of mixed weight/distance events through ``apply_events`` — one
+  vectorized instance mutation plus one repair pass — must beat replaying
+  the same stream one event at a time (each paying its own full repair
+  scan, the legacy cost model; the certificate is disabled so neither side
+  can skip scans).  Per-event equivalence of the two paths is asserted
+  separately by ``tests/test_dynamic_events.py``; this file only guards the
+  speed.
+
+* **≥10⁴ sustained events/sec at n=100 000 (sharded), parity ≥0.95.**  A
+  point-backed :class:`~repro.dynamic.session.ShardedDynamicEngine` consumes
+  mixed ticks (weight sets, distance overrides, inserts, deletes) clustered
+  on a couple of hot shards per tick — the locality a real update stream
+  has, and what shard-local repair exploits: a tick re-solves only the
+  shards it dirtied.  After the stream, the maintained objective must stay
+  within 5% of a full sharded re-solve (``resolve_full``), guarding
+  incremental drift.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.dynamic.engine import DynamicDiversifier
+from repro.dynamic.events import EventBatchBuilder
+from repro.dynamic.session import ShardedDynamicEngine
+
+from .conftest import run_once
+
+# Dense tick guard: n=10k, one 1024-event tick vs a 96-event per-event sample
+# (the per-event side is linear in the event count by construction, so a
+# sample prices it; the measured gap is ~3 orders of magnitude).
+DENSE_N, DENSE_P = 10_000, 20
+TICK_EVENTS, LEGACY_SAMPLE = 1024, 96
+MIN_TICK_SPEEDUP = 10.0
+
+# Sharded stream guard: n=100k points, 12 ticks x ~2500 mixed events on 2
+# hot shards each.
+STREAM_N, STREAM_DIM, STREAM_P = 100_000, 8, 10
+STREAM_SHARD_SIZE = 4096
+STREAM_TICKS, STREAM_TICK_EVENTS = 12, 2500
+MIN_EVENTS_PER_SEC = 10_000.0
+MIN_DYNAMIC_PARITY = 0.95
+
+
+def _mixed_events(rng: np.random.Generator, n: int, count: int):
+    """A stream of (kind, *payload) tuples: 50/50 weight and distance sets."""
+    events = []
+    while len(events) < count:
+        if rng.uniform() < 0.5:
+            events.append(("w", int(rng.integers(n)), float(rng.uniform(0.0, 5.0))))
+        else:
+            u, v = map(int, rng.choice(n, size=2, replace=False))
+            events.append(("d", u, v, float(rng.uniform(1.0, 2.0))))
+    return events
+
+
+def _add_event(builder: EventBatchBuilder, event) -> None:
+    if event[0] == "w":
+        builder.set_weight(event[1], event[2])
+    else:
+        builder.set_distance(event[1], event[2], event[3])
+
+
+def test_dynamic_tick_speedup(benchmark):
+    """One batched 1024-event tick ≥10× the same stream applied per event."""
+    rng = np.random.default_rng(31)
+    weights = rng.uniform(0.0, 5.0, DENSE_N)
+    matrix = rng.uniform(1.0, 2.0, (DENSE_N, DENSE_N))
+    matrix = np.triu(matrix, 1)
+    matrix = matrix + matrix.T  # d in [1,2]: a metric, no validation pass needed
+    engine = DynamicDiversifier(weights, matrix, DENSE_P, use_certificate=False)
+
+    stream = _mixed_events(np.random.default_rng(37), DENSE_N, LEGACY_SAMPLE + TICK_EVENTS)
+    legacy_stream, tick_stream = stream[:LEGACY_SAMPLE], stream[LEGACY_SAMPLE:]
+
+    started = time.perf_counter()
+    for event in legacy_stream:
+        single = EventBatchBuilder()
+        _add_event(single, event)
+        engine.apply_events(single.build())
+    legacy_per_event = (time.perf_counter() - started) / len(legacy_stream)
+
+    builder = EventBatchBuilder()
+    for event in tick_stream:
+        _add_event(builder, event)
+    batch = builder.build()
+
+    outcome = run_once(benchmark, engine.apply_events, batch)
+    batched_seconds = benchmark.stats.stats.min
+    batched_per_event = batched_seconds / batch.num_events
+
+    assert len(outcome.solution) == DENSE_P
+    speedup = legacy_per_event / max(batched_per_event, 1e-12)
+    benchmark.extra_info["n"] = DENSE_N
+    benchmark.extra_info["p"] = DENSE_P
+    benchmark.extra_info["tick_events"] = batch.num_events
+    benchmark.extra_info["legacy_events_per_sec"] = round(1.0 / legacy_per_event, 1)
+    benchmark.extra_info["batched_events_per_sec"] = round(
+        1.0 / max(batched_per_event, 1e-12), 1
+    )
+    benchmark.extra_info["dynamic_tick_speedup"] = round(speedup, 1)
+    print(
+        f"\ndynamic tick n={DENSE_N}, p={DENSE_P}: per-event "
+        f"{1.0 / legacy_per_event:.0f} ev/s, batched tick of {batch.num_events} "
+        f"{1.0 / batched_per_event:.0f} ev/s ({speedup:.0f}x)"
+    )
+    assert speedup >= MIN_TICK_SPEEDUP, (
+        f"batched tick only {speedup:.1f}x faster than the per-event path"
+    )
+
+
+def _build_tick(
+    rng: np.random.Generator,
+    engine: ShardedDynamicEngine,
+    previous_inserts,
+) -> EventBatchBuilder:
+    """~2500 mixed events clustered on two hot shards, plus 2 inserts and
+    deletes of the previous tick's inserts (so the stream exercises slot
+    reuse without ever touching a retired slot)."""
+    n0 = STREAM_N  # original slots; retired slots only ever come from inserts
+    hot = rng.choice(STREAM_N // STREAM_SHARD_SIZE, size=2, replace=False)
+    builder = EventBatchBuilder()
+    budget = STREAM_TICK_EVENTS - 2 - len(previous_inserts)
+    shards = rng.integers(0, 2, size=budget)
+    offsets = rng.integers(0, STREAM_SHARD_SIZE, size=(budget, 2))
+    kinds = rng.uniform(size=budget)
+    weight_values = rng.uniform(0.5, 2.0, size=budget)
+    distance_values = rng.uniform(0.5, 3.0, size=budget)
+    for i in range(budget):
+        base = int(hot[shards[i]]) * STREAM_SHARD_SIZE
+        element = min(base + int(offsets[i, 0]), n0 - 1)
+        if kinds[i] < 0.85:
+            builder.set_weight(element, float(weight_values[i]))
+        else:
+            other = min(base + int(offsets[i, 1]), n0 - 1)
+            if other != element:
+                builder.set_distance(element, other, float(distance_values[i]))
+    for _ in range(2):
+        builder.insert(float(rng.uniform(0.5, 2.0)), point=rng.normal(size=STREAM_DIM))
+    for element in previous_inserts:
+        builder.delete(element)
+    return builder
+
+
+def test_dynamic_events_per_sec(benchmark):
+    """Sustained ≥10⁴ events/sec at n=100k with ≥0.95 full re-solve parity."""
+    rng = np.random.default_rng(41)
+    points = rng.normal(size=(STREAM_N, STREAM_DIM))
+    weights = rng.uniform(0.5, 2.0, STREAM_N)
+    engine = ShardedDynamicEngine(
+        points, weights, STREAM_P, shard_size=STREAM_SHARD_SIZE
+    )
+
+    # Batch construction is Python-side setup; only apply_events is the
+    # engine's contract, so the guard uses the accumulated apply time while
+    # the benchmark clock records the whole stream.
+    state = {"apply_seconds": 0.0, "events": 0, "inserted": ()}
+
+    def stream():
+        event_rng = np.random.default_rng(43)
+        for _ in range(STREAM_TICKS):
+            batch = _build_tick(event_rng, engine, state["inserted"]).build()
+            started = time.perf_counter()
+            outcome = engine.apply_events(batch)
+            state["apply_seconds"] += time.perf_counter() - started
+            state["events"] += outcome.metadata["num_events"]
+            state["inserted"] = outcome.metadata.get("inserted", ())
+        return engine.solution_value
+
+    run_once(benchmark, stream)
+    events_per_sec = state["events"] / max(state["apply_seconds"], 1e-12)
+
+    full = engine.resolve_full(adopt=False)
+    parity = engine.solution_value / full.objective_value
+    drift = max(0.0, 1.0 - parity)
+
+    benchmark.extra_info["n"] = STREAM_N
+    benchmark.extra_info["p"] = STREAM_P
+    benchmark.extra_info["shards"] = engine.num_shards
+    benchmark.extra_info["ticks"] = STREAM_TICKS
+    benchmark.extra_info["events"] = state["events"]
+    benchmark.extra_info["dynamic_events_per_sec"] = round(events_per_sec, 1)
+    benchmark.extra_info["dynamic_drift"] = round(drift, 4)
+    print(
+        f"\ndynamic stream n={STREAM_N}, shards={engine.num_shards}: "
+        f"{state['events']} events in {state['apply_seconds']:.2f}s "
+        f"({events_per_sec:.0f} ev/s), parity {parity:.4f}"
+    )
+    assert events_per_sec >= MIN_EVENTS_PER_SEC, (
+        f"dynamic stream sustained only {events_per_sec:.0f} events/sec"
+    )
+    assert parity >= MIN_DYNAMIC_PARITY, (
+        f"incremental solution drifted to {parity:.4f} of the full re-solve"
+    )

@@ -68,8 +68,13 @@ from repro.dynamic import (
     DistanceDecrease,
     DistanceIncrease,
     DynamicDiversifier,
+    DynamicSession,
     EngineSnapshot,
     Environment,
+    EventBatch,
+    EventBatchBuilder,
+    SessionSnapshot,
+    ShardedDynamicEngine,
     WeightDecrease,
     WeightIncrease,
 )
@@ -102,7 +107,9 @@ from repro.metrics import (
     CosineMetric,
     DistanceMatrix,
     EuclideanMetric,
+    GrowableDistanceMatrix,
     Metric,
+    PatchedMetric,
     UniformRandomMetric,
 )
 from repro.utils.deadline import Deadline
@@ -146,6 +153,8 @@ __all__ = [
     # metrics
     "Metric",
     "DistanceMatrix",
+    "GrowableDistanceMatrix",
+    "PatchedMetric",
     "EuclideanMetric",
     "CosineMetric",
     "UniformRandomMetric",
@@ -158,7 +167,12 @@ __all__ = [
     "TruncatedMatroid",
     # dynamic
     "DynamicDiversifier",
+    "DynamicSession",
     "EngineSnapshot",
+    "EventBatch",
+    "EventBatchBuilder",
+    "SessionSnapshot",
+    "ShardedDynamicEngine",
     "WeightIncrease",
     "WeightDecrease",
     "DistanceIncrease",

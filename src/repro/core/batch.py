@@ -137,7 +137,7 @@ def solve_many(
     if materialize and not sharded and metric.matrix_view() is None:
         shared_metric = as_distance_matrix(metric)
     shared_quality = quality
-    if quality.is_modular and getattr(quality, "weights_view", None) is None:
+    if quality.is_modular and kernels.weights_view_of(quality) is None:
         # View-less modular families would pay one O(n) oracle sweep per
         # query inside the kernels; hoist the sweep out of the loop.
         weights = kernels.modular_weights(quality)

@@ -40,9 +40,11 @@ from repro.matroids.base import Matroid
 
 __all__ = [
     "modular_weights",
+    "weights_view_of",
     "matrix_fast_path",
     "solution_split",
     "set_margins",
+    "best_addition_scan",
     "pair_argmax",
     "swap_gain_matrix",
     "swap_gain_matrix_general",
@@ -53,6 +55,17 @@ __all__ = [
     "swap_kernel_supported",
     "matroid_swap_vectorized",
 ]
+
+
+def weights_view_of(quality: SetFunction) -> Optional[np.ndarray]:
+    """``quality.weights_view()``, tolerant of instances that hide the hook.
+
+    ``weights_view`` lives on the :class:`SetFunction` base, but subclasses
+    (and tests) may mask it with a plain ``None`` attribute to opt out of the
+    array fast path; anything non-callable means "no view".
+    """
+    accessor = getattr(quality, "weights_view", None)
+    return accessor() if callable(accessor) else None
 
 
 def modular_weights(quality: SetFunction) -> Optional[np.ndarray]:
@@ -68,9 +81,9 @@ def modular_weights(quality: SetFunction) -> Optional[np.ndarray]:
     """
     if not quality.is_modular:
         return None
-    view = getattr(quality, "weights_view", None)
+    view = weights_view_of(quality)
     if view is not None:
-        return view()
+        return view
     return np.fromiter(
         (quality.marginal(u, frozenset()) for u in range(quality.n)),
         dtype=float,
@@ -114,6 +127,29 @@ def set_margins(matrix: np.ndarray, members: Iterable[Element]) -> np.ndarray:
     if idx.size == 0:
         return np.zeros(matrix.shape[0], dtype=float)
     return matrix[:, idx].sum(axis=1)
+
+
+def best_addition_scan(
+    weights: np.ndarray,
+    tradeoff: float,
+    margins: np.ndarray,
+    candidates: np.ndarray,
+) -> Optional[Tuple[Element, float]]:
+    """Best element to *add* by true marginal ``w(u) + λ·d_u(S)``.
+
+    The refill primitive of the dynamic engine: after a solution member is
+    deleted, the replacement maximizing the true marginal is one masked
+    argmax over the candidate pool (``margins`` must be synchronized with the
+    current solution).  Returns ``(element, marginal)`` or ``None`` on an
+    empty pool.  Ties resolve to the lowest candidate in ``candidates``
+    order, matching the reference argmax loops.
+    """
+    idx = np.asarray(candidates, dtype=int)
+    if idx.size == 0:
+        return None
+    scores = weights[idx] + tradeoff * margins[idx]
+    i = int(np.argmax(scores))
+    return int(idx[i]), float(scores[i])
 
 
 def pair_argmax(

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro._types import Element
 from repro.exceptions import InvalidParameterError
+from repro.core.kernels import weights_view_of
 from repro.functions.base import Candidates, GainState, SetFunction
 from repro.metrics.aggregates import (
     MarginalDistanceTracker,
@@ -60,11 +61,9 @@ class Objective:
         # solve, and it catches NaN/inf planted in a weight vector that was
         # built outside the validating ModularFunction constructor.  The
         # O(n²) metric arrays are validated by their own constructors.
-        weights_view = getattr(quality, "weights_view", None)
-        if weights_view is not None:
-            weights = weights_view()
-            if weights is not None:
-                check_finite_array("quality weights", weights)
+        weights = weights_view_of(quality)
+        if weights is not None:
+            check_finite_array("quality weights", weights)
 
     # ------------------------------------------------------------------
     # Accessors

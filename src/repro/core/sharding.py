@@ -61,6 +61,7 @@ import numpy as np
 
 from repro._types import Element
 from repro.core.checkpoint import SolveCheckpoint
+from repro.core.kernels import weights_view_of
 from repro.core.local_search import LocalSearchConfig
 from repro.core.objective import Objective
 from repro.core.restriction import Restriction
@@ -73,7 +74,7 @@ from repro.utils.deadline import Deadline, mark_interrupted
 from repro.utils.timing import Stopwatch
 from repro.utils.validation import check_candidate_pool
 
-__all__ = ["shard_pool", "solve_sharded"]
+__all__ = ["shard_pool", "solve_sharded", "sub_metric"]
 
 #: Shard-stage algorithms that run efficiently on a *lazy* sub-metric (their
 #: hot loops only need rows, which feature metrics answer in O(k·d)).  Every
@@ -129,13 +130,16 @@ def _block_matrix(metric: Metric, pool: np.ndarray) -> DistanceMatrix:
     return DistanceMatrix((block + block.T) / 2.0, copy=False)
 
 
-def _sub_metric(metric: Metric, pool: np.ndarray, materialize: bool) -> Metric:
+def sub_metric(metric: Metric, pool: np.ndarray, materialize: bool) -> Metric:
     """The restriction of ``metric`` onto ``pool`` for one shard solve.
 
     ``materialize=True`` produces a :class:`DistanceMatrix` (a copy-free view
     for matrix-backed parents, a chunk-computed block otherwise) so the
     vectorized kernels apply; ``materialize=False`` prefers the lazy tier and
     only falls back to the default O(k²) restriction for pure oracle metrics.
+
+    Public because the dynamic session's shard-local repair builds the same
+    per-shard restrictions outside a full :func:`solve_sharded` run.
     """
     if materialize:
         if metric.matrix_view() is not None:
@@ -143,6 +147,10 @@ def _sub_metric(metric: Metric, pool: np.ndarray, materialize: bool) -> Metric:
         return _block_matrix(metric, pool)
     lazy = metric.restrict_lazy(pool)
     return lazy if lazy is not None else metric.restrict(pool)
+
+
+#: Backward-compatible private alias (pre-dates the dynamic session).
+_sub_metric = sub_metric
 
 
 def _materialize_objective(objective: Objective) -> Objective:
@@ -572,8 +580,7 @@ def solve_sharded(
             workers.shutdown(wait=False, cancel_futures=True)
         return fallback
 
-    weights_view = getattr(objective.quality, "weights_view", None)
-    array_backed = weights_view is not None and weights_view() is not None
+    array_backed = weights_view_of(objective.quality) is not None
     # Thread-pooled shard maps need every oracle touched by a worker to be a
     # pure read of immutable NumPy state: the metric must declare itself
     # parallel-safe, and the quality must either expose an array weight view

@@ -15,11 +15,23 @@ Package contents:
   multi-update schedule.
 * :mod:`~repro.dynamic.engine` — :class:`DynamicDiversifier`, which owns the
   mutable instance and applies perturbations + updates.
+* :mod:`~repro.dynamic.events` — :class:`EventBatch` /
+  :class:`EventBatchBuilder`, the typed-array form of one tick of a batched
+  event stream (weight/distance changes, inserts, deletes).
+* :mod:`~repro.dynamic.session` — :class:`DynamicSession`, the facade over
+  the dense engine and the sharded tier (:class:`ShardedDynamicEngine`) with
+  periodic checkpoints and full re-solves.
 * :mod:`~repro.dynamic.simulation` — the V/E/M perturbation environments and
   worst-ratio tracking of Section 7.3 (Figure 1).
 """
 
 from repro.dynamic.engine import DynamicDiversifier, EngineSnapshot
+from repro.dynamic.events import EventBatch, EventBatchBuilder
+from repro.dynamic.session import (
+    DynamicSession,
+    SessionSnapshot,
+    ShardedDynamicEngine,
+)
 from repro.dynamic.perturbation import (
     DistanceDecrease,
     DistanceIncrease,
@@ -52,6 +64,11 @@ __all__ = [
     "DistanceDecrease",
     "DynamicDiversifier",
     "EngineSnapshot",
+    "EventBatch",
+    "EventBatchBuilder",
+    "DynamicSession",
+    "SessionSnapshot",
+    "ShardedDynamicEngine",
     "oblivious_update",
     "update_until_stable",
     "required_updates_for_weight_decrease",

@@ -16,11 +16,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.dynamic.engine import DynamicDiversifier
+from repro.dynamic.events import EventBatch
+from repro.dynamic.session import DynamicSession
 from repro.dynamic.perturbation import (
     DistanceDecrease,
     DistanceIncrease,
@@ -63,7 +64,7 @@ class SimulationRecord:
 
 
 def _random_weight_perturbation(
-    engine: DynamicDiversifier, rng: np.random.Generator
+    engine: DynamicSession, rng: np.random.Generator
 ) -> Optional[Perturbation]:
     """Reset a random element's weight to a fresh U[0, 1] draw (Type I or II)."""
     element = int(rng.integers(0, engine.n))
@@ -78,7 +79,7 @@ def _random_weight_perturbation(
 
 
 def _random_distance_perturbation(
-    engine: DynamicDiversifier,
+    engine: DynamicSession,
     rng: np.random.Generator,
     *,
     low: float = 1.0,
@@ -98,7 +99,7 @@ def _random_distance_perturbation(
 
 def _draw_perturbation(
     environment: Environment,
-    engine: DynamicDiversifier,
+    engine: DynamicSession,
     rng: np.random.Generator,
     *,
     distance_low: float,
@@ -131,21 +132,35 @@ def run_dynamic_simulation(
     track_ratio: bool = True,
     distance_low: float = 1.0,
     distance_high: float = 2.0,
+    batched: bool = False,
+    checkpoint_every: Optional[int] = None,
+    on_checkpoint: Optional[Callable[[object], None]] = None,
 ) -> SimulationRecord:
     """Run one perturbation/update trajectory and track approximation ratios.
 
+    The trajectory drives a dense :class:`~repro.dynamic.session.DynamicSession`
+    — the same facade the batched experiments and the fault harness use — so
+    the simulated update rule is exactly the engine everything else runs.
     ``track_ratio=True`` computes the exact optimum after every step, which is
     exponential in ``p`` — keep ``n`` and ``p`` small (the paper uses the
-    synthetic N=50-style instances).
+    synthetic N=50-style instances).  ``checkpoint_every``/``on_checkpoint``
+    forward to the session: pickle-safe engine snapshots every so many steps.
+    ``batched=True`` routes each perturbation through the
+    :class:`~repro.dynamic.events.EventBatch` tick path instead of
+    :meth:`~repro.dynamic.session.DynamicSession.apply` — the results are
+    identical (the property tests assert it); the flag exists to exercise
+    the batched path under the experiment's workload.
     """
     if steps < 0:
         raise InvalidParameterError("steps must be non-negative")
     rng = make_rng(seed)
-    engine = DynamicDiversifier(
+    engine = DynamicSession(
         np.asarray(weights, dtype=float),
-        np.asarray(distances, dtype=float),
         p,
+        distances=np.asarray(distances, dtype=float),
         tradeoff=tradeoff,
+        checkpoint_every=checkpoint_every,
+        on_checkpoint=on_checkpoint,
     )
     ratios: List[float] = []
     for _ in range(steps):
@@ -161,7 +176,12 @@ def run_dynamic_simulation(
             if track_ratio:
                 ratios.append(engine.approximation_ratio())
             continue
-        engine.apply(perturbation, updates=1)
+        if batched:
+            engine.apply_events(
+                EventBatch.from_perturbations([perturbation]), updates=1
+            )
+        else:
+            engine.apply(perturbation, updates=1)
         if track_ratio:
             ratios.append(engine.approximation_ratio())
     worst = max(ratios) if ratios else 1.0
@@ -183,6 +203,7 @@ def worst_ratio_curve(
     steps: int = 20,
     repeats: int = 100,
     seed: SeedLike = None,
+    batched: bool = False,
 ) -> Dict[float, float]:
     """Reproduce one curve of Figure 1: worst ratio over repeats, per λ.
 
@@ -204,6 +225,7 @@ def worst_ratio_curve(
                 environment,
                 steps=steps,
                 seed=run_rng,
+                batched=batched,
             )
             worst = max(worst, record.worst_ratio)
         curve[float(tradeoff)] = worst

@@ -16,7 +16,7 @@ incremental implementations (see the README's "Submodular fast path").
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import FrozenSet, Iterable, Sequence, Union
+from typing import FrozenSet, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -173,6 +173,19 @@ class SetFunction(ABC):
         such promise, so the base default is ``False``.
         """
         return False
+
+    def weights_view(self) -> Optional[np.ndarray]:
+        """A read-only, copy-free weight vector for modular families, or ``None``.
+
+        This is the quality-side fast-path hook, the counterpart of
+        :meth:`repro.metrics.base.Metric.matrix_view`: when a modular family
+        returns an array here, the kernels and the sharded solver consume the
+        weights directly instead of calling the value oracle per element.
+        The view must reflect later weight mutations (the dynamic engine
+        holds onto it across perturbations).  Non-modular families — and
+        modular ones without an array representation — return ``None``.
+        """
+        return None
 
     # ------------------------------------------------------------------
     # Restriction (sub-universe views)

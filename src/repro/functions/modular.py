@@ -97,6 +97,46 @@ class ModularFunction(SetFunction):
             raise InvalidParameterError("weights must be non-negative")
         self._weights[element] = value
 
+    def update_weights(
+        self,
+        elements: Union[np.ndarray, Iterable[Element]],
+        values: Union[np.ndarray, Iterable[float]],
+    ) -> None:
+        """Vectorized batch of :meth:`set_weight` assignments.
+
+        With a repeated element the *last* assignment wins (NumPy fancy-index
+        semantics), matching a sequential loop of ``set_weight`` calls — the
+        contract the batched event tick relies on.
+        """
+        idx = np.asarray(elements, dtype=int)
+        vals = np.asarray(values, dtype=float)
+        if idx.shape != vals.shape:
+            raise InvalidParameterError(
+                "elements and values must have matching shapes"
+            )
+        check_finite_array("weights", vals)
+        if np.any(vals < 0):
+            raise InvalidParameterError("weights must be non-negative")
+        self._weights[idx] = vals
+
+    @classmethod
+    def _from_storage(cls, array: np.ndarray) -> "ModularFunction":
+        """Wrap an externally owned weight array without copying.
+
+        The dynamic engine's growable-storage path: the caller owns a
+        capacity-doubled buffer and hands an active-prefix view here, so
+        weight events mutate the storage directly and this function (and
+        every kernel holding :meth:`weights_view`) observes them with no
+        copies.  The caller is responsible for keeping entries finite and
+        non-negative — exactly the :meth:`set_weight` invariants.
+        """
+        instance = object.__new__(cls)
+        instance._weights = array
+        view = array.view()
+        view.flags.writeable = False
+        instance._weights_view = view
+        return instance
+
     def copy(self) -> "ModularFunction":
         """Return an independent copy (used by the dynamic engine)."""
         return ModularFunction(self._weights.copy())

@@ -26,17 +26,21 @@ from repro.metrics.base import Metric
 from repro.metrics.cosine import CosineMetric
 from repro.metrics.discrete import DiscreteMetric, UniformRandomMetric, one_two_metric
 from repro.metrics.euclidean import EuclideanMetric
-from repro.metrics.matrix import DistanceMatrix
+from repro.metrics.matrix import DistanceMatrix, GrowableDistanceMatrix
+from repro.metrics.overlay import PatchedMetric
 from repro.metrics.relaxed import relaxation_parameter, satisfies_relaxed_triangle
 from repro.metrics.validation import (
     check_metric,
     is_metric,
+    pair_triangle_violations,
     triangle_violations,
 )
 
 __all__ = [
     "Metric",
     "DistanceMatrix",
+    "GrowableDistanceMatrix",
+    "PatchedMetric",
     "EuclideanMetric",
     "CosineMetric",
     "DiscreteMetric",
@@ -48,6 +52,7 @@ __all__ = [
     "check_metric",
     "is_metric",
     "triangle_violations",
+    "pair_triangle_violations",
     "relaxation_parameter",
     "satisfies_relaxed_triangle",
 ]

@@ -119,6 +119,31 @@ class DistanceMatrix(Metric):
         self._matrix[u, v] = value
         self._matrix[v, u] = value
 
+    def set_distances(
+        self,
+        us: np.ndarray,
+        vs: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        """Vectorized batch of :meth:`set_distance` writes.
+
+        One fancy-indexed symmetric assignment for a whole tick of distance
+        events; with a repeated pair the last assignment wins, matching a
+        sequential loop.
+        """
+        us = np.asarray(us, dtype=int)
+        vs = np.asarray(vs, dtype=int)
+        vals = np.asarray(values, dtype=float)
+        if us.shape != vs.shape or us.shape != vals.shape:
+            raise InvalidParameterError("us, vs and values must have matching shapes")
+        if np.any(us == vs):
+            raise InvalidParameterError("cannot change a self-distance")
+        check_finite_array("distances", vals)
+        if np.any(vals < 0):
+            raise MetricError("distances must be non-negative")
+        self._matrix[us, vs] = vals
+        self._matrix[vs, us] = vals
+
     def copy(self) -> "DistanceMatrix":
         """Return an independent copy of this matrix."""
         return DistanceMatrix(self._matrix, copy=True)
@@ -222,6 +247,153 @@ class DistanceMatrix(Metric):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"DistanceMatrix(n={self.n})"
+
+
+class GrowableDistanceMatrix(DistanceMatrix):
+    """A :class:`DistanceMatrix` with amortized-O(n) element insertion.
+
+    The dynamic engine's storage tier: the matrix lives inside a
+    capacity-doubled square buffer, so inserting an element writes one new
+    row/column (O(n)) instead of reallocating and copying the full O(n²)
+    array per event — reallocation happens only when capacity is exhausted,
+    which amortizes to O(n) per insert.
+
+    Deletion is *deactivation*: the slot keeps its index (all live element
+    ids stay stable), its row and column are zeroed, and the slot is queued
+    for reuse by later inserts (lowest freed id first, so insert/delete
+    round trips are deterministic).  :attr:`n` therefore counts **slots**
+    (live + retired); callers that must skip retired elements — candidate
+    scans, solvers — restrict themselves to :meth:`active_ids`.  A zeroed
+    slot can never win a swap/addition argmax (weight 0, distance 0
+    everywhere), so kernels operating on the full slot range stay correct.
+    """
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        *,
+        validate_triangle: bool = False,
+        copy: bool = True,
+    ) -> None:
+        super().__init__(matrix, validate_triangle=validate_triangle, copy=copy)
+        # The parent set _matrix to the validated n×n array; adopt it as the
+        # initial storage (capacity == n) and carve the slot views.
+        self._storage = np.ascontiguousarray(self._matrix)
+        self._slots = self._storage.shape[0]
+        self._active = np.ones(self._slots, dtype=bool)
+        self._free: list = []
+        self._rebind_views()
+
+    # ------------------------------------------------------------------
+    # Storage management
+    # ------------------------------------------------------------------
+    def _rebind_views(self) -> None:
+        self._matrix = self._storage[: self._slots, : self._slots]
+        view = self._matrix.view()
+        view.flags.writeable = False
+        self._matrix_view = view
+
+    @property
+    def capacity(self) -> int:
+        """Allocated slot capacity (grows by doubling)."""
+        return self._storage.shape[0]
+
+    def _ensure_capacity(self, slots: int) -> None:
+        capacity = self._storage.shape[0]
+        if slots <= capacity:
+            return
+        new_capacity = max(2 * capacity, slots, 4)
+        storage = np.zeros((new_capacity, new_capacity), dtype=float)
+        storage[: self._slots, : self._slots] = self._matrix
+        self._storage = storage
+        self._active = np.concatenate(
+            [self._active, np.zeros(new_capacity - self._active.size, dtype=bool)]
+        )[:new_capacity]
+        self._rebind_views()
+
+    # ------------------------------------------------------------------
+    # Active-set accounting
+    # ------------------------------------------------------------------
+    @property
+    def active_count(self) -> int:
+        """Number of live (non-retired) elements."""
+        return int(self._active[: self._slots].sum())
+
+    def active_ids(self) -> np.ndarray:
+        """Sorted ids of the live elements."""
+        return np.nonzero(self._active[: self._slots])[0]
+
+    @property
+    def active_mask(self) -> np.ndarray:
+        """Read-only boolean liveness mask over the slot range."""
+        view = self._active[: self._slots].view()
+        view.flags.writeable = False
+        return view
+
+    def is_active(self, element: Element) -> bool:
+        """Whether ``element`` is a live slot."""
+        return 0 <= element < self._slots and bool(self._active[element])
+
+    # ------------------------------------------------------------------
+    # Mutation: insert / deactivate
+    # ------------------------------------------------------------------
+    def insert(self, distances: np.ndarray) -> Element:
+        """Add an element and return its id (a reused slot or a fresh one).
+
+        ``distances`` is the new element's distance to every existing slot
+        (length :attr:`n`); entries at retired slots are ignored and stored
+        as 0.  Freed slots are reused lowest-id-first; otherwise a new slot
+        is appended, doubling the buffer when capacity runs out.
+        """
+        row = np.asarray(distances, dtype=float)
+        if row.ndim != 1 or row.shape[0] != self._slots:
+            raise InvalidParameterError(
+                f"insert needs a distance row of length {self._slots}, "
+                f"got shape {row.shape}"
+            )
+        check_finite_array("insert distances", row)
+        if np.any(row < 0):
+            raise MetricError("distances must be non-negative")
+        row = np.where(self._active[: self._slots], row, 0.0)
+        if self._free:
+            slot = self._free.pop(0)
+        else:
+            slot = self._slots
+            self._ensure_capacity(self._slots + 1)
+            self._slots += 1
+            self._rebind_views()
+        self._matrix[slot, :] = 0.0
+        self._matrix[:, slot] = 0.0
+        self._matrix[slot, : row.size] = row
+        self._matrix[: row.size, slot] = row
+        self._matrix[slot, slot] = 0.0
+        self._active[slot] = True
+        return int(slot)
+
+    def deactivate(self, elements: Iterable[Element]) -> None:
+        """Retire elements: zero their rows/columns and queue slots for reuse."""
+        idx = np.asarray(list(elements), dtype=int)
+        if idx.size == 0:
+            return
+        if np.any((idx < 0) | (idx >= self._slots)) or not np.all(self._active[idx]):
+            raise InvalidParameterError("can only deactivate live elements")
+        self._matrix[idx, :] = 0.0
+        self._matrix[:, idx] = 0.0
+        self._active[idx] = False
+        self._free = sorted(set(self._free) | set(idx.tolist()))
+
+    def copy(self) -> "GrowableDistanceMatrix":
+        """Independent copy preserving slot layout and the free list."""
+        clone = GrowableDistanceMatrix(self._matrix, copy=True)
+        clone._active[: self._slots] = self._active[: self._slots]
+        clone._free = list(self._free)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GrowableDistanceMatrix(active={self.active_count}, "
+            f"slots={self._slots}, capacity={self.capacity})"
+        )
 
 
 def as_distance_matrix(metric: Metric, *, copy: Optional[bool] = None) -> DistanceMatrix:

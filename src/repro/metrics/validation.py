@@ -64,6 +64,64 @@ def triangle_violations(
     return violations
 
 
+def pair_triangle_violations(
+    metric: Metric,
+    u: int,
+    v: int,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_violations: int = 10,
+    elements: Optional[np.ndarray] = None,
+) -> List[Tuple[int, int, int, float]]:
+    """Triangle violations among the triples containing **both** ``u`` and ``v``.
+
+    The incremental counterpart of :func:`triangle_violations`: when a metric
+    satisfied the triangle inequality and then the single distance ``d(u, v)``
+    changed, every triple *not* containing both endpoints is untouched, so
+    scanning the ``{u, v, y}`` triples — three vectorized inequalities over
+    the two affected rows, O(n) — finds a violation iff the full O(n³) scan
+    does.  The dynamic engine's ``validate_metric`` mode runs this after each
+    distance event instead of the full scan.
+
+    ``elements``, when given, restricts the third vertices ``y`` scanned
+    (the engine passes its live ids so retired, zeroed slots are ignored).
+    Entries have the same ``(x, y, z, gap)`` shape as
+    :func:`triangle_violations`, with ``gap = d(x, z) − d(x, y) − d(y, z)``.
+    Unlike the full scan — whose broadcast reports each violating triple in
+    both of its ``x ↔ z`` orientations — this returns one orientation per
+    triple, so equivalence comparisons should canonicalize on the unordered
+    endpoint pair.
+    """
+    if u == v:
+        return []
+    row_u = np.asarray(metric.row(u), dtype=float)
+    row_v = np.asarray(metric.row(v), dtype=float)
+    if elements is None:
+        ys = np.arange(row_u.size)
+    else:
+        ys = np.asarray(elements, dtype=int)
+    ys = ys[(ys != u) & (ys != v)]
+    if ys.size == 0:
+        return []
+    d_uv = float(row_u[v])
+    du = row_u[ys]
+    dv = row_v[ys]
+    violations: List[Tuple[int, int, int, float]] = []
+    # (x, mid, z) per family; gap = d(x, z) − d(x, mid) − d(mid, z).
+    families = (
+        (d_uv - du - dv, lambda y: (u, y, v)),  # y between u and v
+        (du - d_uv - dv, lambda y: (u, v, y)),  # v between u and y
+        (dv - d_uv - du, lambda y: (v, u, y)),  # u between v and y
+    )
+    for gaps, label in families:
+        for i in np.nonzero(gaps > tolerance)[0]:
+            x, mid, z = label(int(ys[i]))
+            violations.append((x, mid, z, float(gaps[i])))
+            if len(violations) >= max_violations:
+                return violations
+    return violations
+
+
 def is_metric(metric: Metric, *, tolerance: float = DEFAULT_TOLERANCE) -> bool:
     """Return ``True`` when the structure satisfies all metric axioms."""
     matrix = _as_array(metric)

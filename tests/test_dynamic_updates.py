@@ -222,6 +222,22 @@ class TestDynamicDiversifier:
         assert len(engine.history) == 2
         assert isinstance(engine.history[0][0], WeightIncrease)
 
+    def test_history_is_bounded(self):
+        # Regression: an unbounded history list grew without limit on long
+        # streams; the deque must cap at history_limit, keeping the newest.
+        engine = self._engine(history_limit=5)
+        assert engine.history_limit == 5
+        for _ in range(12):
+            engine.apply(WeightIncrease(1, 0.01))
+        assert len(engine.history) == 5
+        assert engine.applied_events == 12
+
+    def test_history_limit_none_keeps_everything(self):
+        engine = self._engine(history_limit=None)
+        for _ in range(8):
+            engine.apply(WeightIncrease(1, 0.01))
+        assert len(engine.history) == 8
+
     def test_rebuild_recomputes_greedy(self):
         engine = self._engine()
         engine.apply(WeightIncrease(0, 2.0))

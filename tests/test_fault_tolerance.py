@@ -502,3 +502,69 @@ class TestEngineSnapshot:
         )
         clone = pickle.loads(pickle.dumps(snapshot))
         assert clone.solution == (0, 1)
+
+
+# ----------------------------------------------------------------------
+# Dynamic session under shard faults
+# ----------------------------------------------------------------------
+class TestDynamicSessionFaults:
+    """The streaming analogue of the solve_sharded containment contract:
+    faults during a tick (or during the periodic full re-solve's worker
+    pool) degrade the session, never raise out of it, and heal on the next
+    clean tick."""
+
+    def _stream_instance(self, n=80, d=4, seed=21):
+        rng = np.random.default_rng(seed)
+        return rng.normal(size=(n, d)), rng.uniform(1.0, 2.0, size=n)
+
+    def test_killed_worker_mid_tick_recovers(self):
+        # resolve_every=1 makes every tick end in a full sharded re-solve on
+        # a process pool; WorkerKillingMetric SIGKILLs the workers, so the
+        # pool breaks mid-tick and solve_sharded must fall back to a serial
+        # pass in the (unharmed) parent.
+        from repro.dynamic.events import EventBatchBuilder
+        from repro.dynamic.session import DynamicSession
+
+        points, weights = self._stream_instance()
+        session = DynamicSession(
+            weights,
+            5,
+            points=points,
+            shard_size=16,
+            metric_factory=lambda pts: WorkerKillingMetric(
+                EuclideanMetric(pts), only_in_workers=True
+            ),
+            resolve_every=1,
+            resolve_kwargs={"executor": "process", "max_workers": 2},
+        )
+        assert len(session.solution) == 5
+        batch = EventBatchBuilder().change_weight(3, 0.5).build()
+        outcome = session.apply_events(batch)  # must not raise
+        assert len(session.solution) == 5
+        assert outcome.metadata["num_events"] == 1
+        # The stream keeps flowing after the mid-tick pool loss.
+        session.apply_events(EventBatchBuilder().change_weight(40, 0.5).build())
+        assert len(session.solution) == 5
+
+    def test_crashing_shard_degrades_and_heals(self):
+        from repro.dynamic.events import EventBatchBuilder
+        from repro.dynamic.session import ShardedDynamicEngine
+
+        points, weights = self._stream_instance(seed=22)
+        engine = ShardedDynamicEngine(
+            points,
+            weights,
+            5,
+            shard_size=16,
+            metric_factory=lambda pts: CrashingMetric(
+                EuclideanMetric(pts), only_in_workers=False, fail_times=1
+            ),
+        )
+        assert engine.degraded  # the single fault hit the initial solve
+        assert len(engine.solution) == 5
+        builder = EventBatchBuilder()
+        for shard in range(engine.num_shards):
+            builder.change_weight(shard * engine.shard_size, 0.01)
+        engine.apply_events(builder.build())
+        assert not engine.degraded
+        assert len(engine.solution) == 5

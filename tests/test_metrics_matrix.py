@@ -6,7 +6,11 @@ import numpy as np
 import pytest
 
 from repro.exceptions import InvalidParameterError, MetricError
-from repro.metrics.matrix import DistanceMatrix, as_distance_matrix
+from repro.metrics.matrix import (
+    DistanceMatrix,
+    GrowableDistanceMatrix,
+    as_distance_matrix,
+)
 from repro.metrics.euclidean import EuclideanMetric
 
 
@@ -87,6 +91,107 @@ class TestMutation:
         clone = small_matrix.copy()
         clone.set_distance(0, 1, 1.9)
         assert small_matrix.distance(0, 1) == 1.0
+
+
+class TestBulkMutation:
+    def test_set_distances_matches_scalar_loop(self, small_matrix):
+        us = np.array([0, 1, 2])
+        vs = np.array([1, 3, 3])
+        values = np.array([0.5, 0.7, 0.9])
+        batched = small_matrix.copy()
+        batched.set_distances(us, vs, values)
+        scalar = small_matrix.copy()
+        for u, v, value in zip(us, vs, values):
+            scalar.set_distance(int(u), int(v), float(value))
+        np.testing.assert_allclose(batched.to_matrix(), scalar.to_matrix())
+        # symmetric writes
+        assert batched.distance(1, 0) == pytest.approx(0.5)
+
+    def test_set_distances_rejects_bad_entries(self, small_matrix):
+        with pytest.raises(InvalidParameterError):
+            small_matrix.set_distances(
+                np.array([0]), np.array([0]), np.array([1.0])
+            )
+        with pytest.raises(MetricError):
+            small_matrix.set_distances(
+                np.array([0]), np.array([1]), np.array([-0.5])
+            )
+
+    def test_set_distances_empty_is_noop(self, small_matrix):
+        before = small_matrix.to_matrix()
+        empty = np.array([], dtype=int)
+        small_matrix.set_distances(empty, empty, np.array([]))
+        np.testing.assert_array_equal(small_matrix.to_matrix(), before)
+
+
+class TestGrowableMatrix:
+    def _growable(self, n=4):
+        rng = np.random.default_rng(0)
+        matrix = rng.uniform(1.0, 2.0, (n, n))
+        matrix = (matrix + matrix.T) / 2
+        np.fill_diagonal(matrix, 0.0)
+        return GrowableDistanceMatrix(matrix)
+
+    def test_insert_appends_slot(self):
+        growable = self._growable(4)
+        row = np.array([0.1, 0.2, 0.3, 0.4])
+        new = growable.insert(row)
+        assert new == 4
+        assert growable.n == 5
+        assert growable.active_count == 5
+        assert growable.distance(4, 2) == pytest.approx(0.3)
+        assert growable.distance(2, 4) == pytest.approx(0.3)
+
+    def test_capacity_doubles_amortized(self):
+        growable = self._growable(2)
+        start_capacity = growable.capacity
+        for i in range(10):
+            growable.insert(np.full(growable.n, 1.0))
+        assert growable.n == 12
+        assert growable.capacity >= 12
+        assert growable.capacity > start_capacity
+
+    def test_deactivate_and_slot_reuse(self):
+        growable = self._growable(4)
+        growable.deactivate([1])
+        assert not growable.is_active(1)
+        assert growable.active_count == 3
+        assert growable.active_ids().tolist() == [0, 2, 3]
+        # Retired row/column is zeroed.
+        assert growable.distance(1, 0) == 0.0
+        # Next insert revives the lowest free slot.
+        revived = growable.insert(np.array([0.5, 0.0, 0.5, 0.5]))
+        assert revived == 1
+        assert growable.is_active(1)
+        assert growable.distance(1, 3) == pytest.approx(0.5)
+
+    def test_deactivate_rejects_dead_or_unknown(self):
+        growable = self._growable(4)
+        growable.deactivate([2])
+        with pytest.raises(InvalidParameterError):
+            growable.deactivate([2])
+        with pytest.raises(InvalidParameterError):
+            growable.deactivate([99])
+
+    def test_insert_row_length_must_match_slots(self):
+        growable = self._growable(4)
+        with pytest.raises(InvalidParameterError):
+            growable.insert(np.ones(3))
+
+    def test_active_mask_is_readonly(self):
+        growable = self._growable(4)
+        with pytest.raises(ValueError):
+            growable.active_mask[0] = False
+
+    def test_copy_preserves_slots_and_free_list(self):
+        growable = self._growable(4)
+        growable.deactivate([0])
+        clone = growable.copy()
+        assert clone.active_ids().tolist() == growable.active_ids().tolist()
+        # The copy's free list yields the same reuse order...
+        assert clone.insert(np.full(4, 1.0)) == 0
+        # ...without affecting the original.
+        assert not growable.is_active(0)
 
 
 class TestConstructors:

@@ -12,6 +12,7 @@ from repro.metrics.relaxed import relaxation_parameter, satisfies_relaxed_triang
 from repro.metrics.validation import (
     check_metric,
     is_metric,
+    pair_triangle_violations,
     sampled_triangle_check,
     triangle_violations,
 )
@@ -60,6 +61,57 @@ class TestValidation:
     def test_tiny_instances_are_trivially_metrics(self):
         assert is_metric(DistanceMatrix(np.zeros((1, 1))))
         assert sampled_triangle_check(DistanceMatrix(np.zeros((2, 2))))
+
+
+def _canonical(violations):
+    """Key a violation on its unordered endpoint pair plus middle vertex.
+
+    The full scan's broadcast reports each violating triple in both x↔z
+    orientations; the pair scan reports one.  Canonicalizing makes the two
+    comparable.
+    """
+    return {(min(x, z), y, max(x, z)) for x, y, z, _ in violations}
+
+
+class TestPairTriangleCheck:
+    def test_matches_full_scan_after_single_edge_change(self):
+        # Start from a true metric, break one edge, and check that the O(n)
+        # pair scan finds exactly the triples the O(n^3) scan finds.
+        rng = np.random.default_rng(4)
+        for trial in range(20):
+            n = int(rng.integers(5, 12))
+            matrix = rng.uniform(1.0, 2.0, (n, n))
+            matrix = (matrix + matrix.T) / 2
+            np.fill_diagonal(matrix, 0.0)  # d in [1,2] satisfies the triangle
+            u, v = map(int, rng.choice(n, size=2, replace=False))
+            # Push d(u,v) up (may exceed d(u,y)+d(y,v)) or down (may undercut
+            # |d(u,y)-d(y,v)|) — both violation families must be caught.
+            matrix[u, v] = matrix[v, u] = float(rng.uniform(0.0, 5.0))
+            dm = DistanceMatrix(matrix)
+            full = _canonical(triangle_violations(dm, max_violations=10_000))
+            pair = _canonical(
+                pair_triangle_violations(dm, u, v, max_violations=10_000)
+            )
+            assert pair == full, f"trial {trial}: pair scan != full scan"
+
+    def test_clean_pair_reports_nothing(self):
+        metric = UniformRandomMetric(15, seed=3)
+        assert pair_triangle_violations(metric, 2, 9) == []
+        assert pair_triangle_violations(metric, 4, 4) == []
+
+    def test_elements_filter_restricts_third_vertices(self):
+        bad = _bad_matrix()  # the 0-1-2 triple violates via middle vertex 1
+        assert pair_triangle_violations(bad, 0, 2)
+        assert pair_triangle_violations(bad, 0, 2, elements=np.array([1]))
+        assert pair_triangle_violations(bad, 0, 2, elements=np.array([], dtype=int)) == []
+
+    def test_max_violations_caps_output(self):
+        n = 8
+        matrix = np.full((n, n), 1.0)
+        np.fill_diagonal(matrix, 0.0)
+        matrix[0, 1] = matrix[1, 0] = 10.0  # violates via every third vertex
+        found = pair_triangle_violations(DistanceMatrix(matrix), 0, 1, max_violations=3)
+        assert len(found) == 3
 
 
 class TestRelaxedTriangle:

@@ -1,0 +1,227 @@
+"""Gate a fresh ``BENCH_<sha>.json`` against the committed bench trajectory.
+
+The CI ``bench-compare`` step: after the perf job distills its fresh run into
+``BENCH_<sha>.json`` (see ``export_bench.py``), this script diffs the fresh
+guard numbers against the **newest committed snapshot** under
+``benchmarks/baselines/`` and fails (exit 1) when any shared guard key
+regresses by more than the threshold (default 30%).  It also prints the full
+guard trajectory across every committed snapshot, so the job log shows where
+each number has been, not just where it is.
+
+Guard keys are direction-aware: most are higher-is-better (speedups, parity,
+events/sec, QPS); the keys in :data:`LOWER_IS_BETTER` (evaluation fractions,
+overheads, drift, latencies) regress *upward*.  Near-zero lower-is-better
+baselines (drift and overhead ratios measured in hundredths) additionally get
+a small absolute slack, so noise around ~0 cannot fail the gate.
+
+Usage
+-----
+```
+python benchmarks/compare_bench.py BENCH_${GITHUB_SHA}.json \
+    [--baselines benchmarks/baselines] [--threshold 0.30] \
+    [--exclude-sha $GITHUB_SHA]
+```
+
+A missing or empty baseline directory passes with a note — the first PR that
+commits a snapshot bootstraps the gate for every later one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Guard-key *suffixes* (the part after ``<benchmark name>.``) where lower is
+#: better; every other key regresses downward.
+LOWER_IS_BETTER = frozenset(
+    {
+        "celf_fraction",
+        "interrupted_solve_overhead",
+        "dynamic_drift",
+        "serve_p50_ms",
+        "serve_p99_ms",
+    }
+)
+
+#: Absolute slack added on top of the relative threshold for lower-is-better
+#: suffixes whose ratio test alone is too twitchy: near-zero baselines
+#: (0.001 drift tripling is noise, not a regression) and raw wall-clock
+#: latencies, which swing with the runner (the trajectory still shows them;
+#: only the gate is softened).
+ABSOLUTE_SLACK: Dict[str, float] = {
+    "dynamic_drift": 0.02,
+    "interrupted_solve_overhead": 0.02,
+    "serve_p50_ms": 25.0,
+    "serve_p99_ms": 50.0,
+}
+
+DEFAULT_THRESHOLD = 0.30
+
+
+def _suffix(key: str) -> str:
+    """The guard suffix of a ``<benchmark name>.<suffix>`` key."""
+    return key.rsplit(".", 1)[-1]
+
+
+def load_snapshots(
+    baselines_dir: str, *, exclude_sha: Optional[str] = None
+) -> List[dict]:
+    """All committed ``BENCH_*.json`` snapshots, oldest first.
+
+    Sorted by embedded ``datetime`` (filename as a tiebreaker, so snapshots
+    missing the field still order deterministically); snapshots whose
+    embedded ``sha`` matches ``exclude_sha`` are dropped, which lets CI avoid
+    comparing a commit against its own snapshot.
+    """
+    snapshots = []
+    for path in sorted(glob.glob(os.path.join(baselines_dir, "BENCH_*.json"))):
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if exclude_sha and payload.get("sha") == exclude_sha:
+            continue
+        payload["_path"] = os.path.basename(path)
+        snapshots.append(payload)
+    snapshots.sort(key=lambda p: (p.get("datetime") or "", p["_path"]))
+    return snapshots
+
+
+def compare_guards(
+    fresh: Dict[str, float],
+    baseline: Dict[str, float],
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Tuple[List[str], List[str]]:
+    """Diff shared guard keys; return (report lines, regression lines).
+
+    Keys present on only one side are reported but never fail the gate —
+    benchmarks come and go across PRs and the gate must not punish adding
+    one.
+    """
+    lines: List[str] = []
+    regressions: List[str] = []
+    for key in sorted(set(fresh) | set(baseline)):
+        if key not in fresh:
+            lines.append(f"  {key}: baseline {baseline[key]:g}, missing fresh (skip)")
+            continue
+        if key not in baseline:
+            lines.append(f"  {key}: fresh {fresh[key]:g}, no baseline (new)")
+            continue
+        new, old = float(fresh[key]), float(baseline[key])
+        suffix = _suffix(key)
+        if suffix in LOWER_IS_BETTER:
+            limit = old * (1.0 + threshold) + ABSOLUTE_SLACK.get(suffix, 0.0)
+            regressed = new > limit
+            arrow = "up" if new > old else "down"
+        else:
+            limit = old * (1.0 - threshold)
+            regressed = new < limit
+            arrow = "down" if new < old else "up"
+        change = (new - old) / old if old else float("inf") if new else 0.0
+        status = "REGRESSED" if regressed else "ok"
+        lines.append(
+            f"  {key}: {old:g} -> {new:g} ({change:+.1%} {arrow}, "
+            f"limit {limit:g}) {status}"
+        )
+        if regressed:
+            regressions.append(
+                f"{key}: {old:g} -> {new:g} ({change:+.1%}, limit {limit:g})"
+            )
+    return lines, regressions
+
+
+def trajectory_table(snapshots: Sequence[dict], fresh: dict) -> str:
+    """Render the guard trajectory: one row per key, one column per snapshot."""
+    columns = list(snapshots) + [fresh]
+    headers = ["guard"] + [
+        (payload.get("sha") or payload.get("_path") or "?")[:10]
+        for payload in snapshots
+    ] + ["(fresh)"]
+    keys = sorted({key for payload in columns for key in payload.get("guards", {})})
+    rows = [
+        [key]
+        + [
+            f"{payload.get('guards', {})[key]:g}"
+            if key in payload.get("guards", {})
+            else "-"
+            for payload in columns
+        ]
+        for key in keys
+    ]
+    widths = [
+        max(len(str(cell)) for cell in [headers[i]] + [row[i] for row in rows])
+        for i in range(len(headers))
+    ]
+
+    def fmt(cells):
+        return "  ".join(str(cell).ljust(width) for cell, width in zip(cells, widths))
+
+    out = [fmt(headers), fmt(["-" * width for width in widths])]
+    out.extend(fmt(row) for row in rows)
+    return "\n".join(out)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="freshly distilled BENCH_<sha>.json")
+    parser.add_argument(
+        "--baselines",
+        default=os.path.join(os.path.dirname(__file__) or ".", "baselines"),
+        help="directory of committed BENCH_*.json snapshots",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="relative regression tolerance (default 0.30 = 30%%)",
+    )
+    parser.add_argument(
+        "--exclude-sha",
+        default=None,
+        help="ignore committed snapshots with this embedded sha (the current commit)",
+    )
+    args = parser.parse_args(argv)
+    if not 0 <= args.threshold < 1:
+        parser.error("--threshold must be in [0, 1)")
+
+    with open(args.fresh, "r", encoding="utf-8") as handle:
+        fresh = json.load(handle)
+
+    snapshots = load_snapshots(args.baselines, exclude_sha=args.exclude_sha)
+    if not snapshots:
+        print(
+            f"bench-compare: no baseline snapshots under {args.baselines} — "
+            "nothing to gate against (pass)"
+        )
+        return 0
+
+    baseline = snapshots[-1]
+    print(
+        f"bench-compare: fresh {fresh.get('sha') or args.fresh} vs baseline "
+        f"{baseline.get('sha') or baseline['_path']} "
+        f"(threshold {args.threshold:.0%})"
+    )
+    lines, regressions = compare_guards(
+        fresh.get("guards", {}), baseline.get("guards", {}), threshold=args.threshold
+    )
+    print("\n".join(lines))
+    print()
+    print(f"guard trajectory ({len(snapshots)} committed snapshot(s) + fresh):")
+    print(trajectory_table(snapshots, fresh))
+    if regressions:
+        print()
+        print(f"bench-compare: {len(regressions)} guard(s) regressed >"
+              f"{args.threshold:.0%}:")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print()
+    print("bench-compare: all shared guards within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,9 @@ from typing import Optional, Sequence
 #: first greedy iteration — the CELF contract caps it at 0.25).
 #: ``interrupted_solve_overhead`` is the fractional slowdown a generous
 #: deadline adds to the greedy loop (capped at 0.05 by the deadline guard).
+#: ``serve_qps`` / ``serve_p50_ms`` / ``serve_p99_ms`` are the serving-tier
+#: load numbers (64 concurrent clients on an n=100k sharded corpus; the
+#: guards demand ≥500 QPS and p99 ≤ 200 ms).
 _GUARD_KEYS = (
     "speedup",
     "parity",
@@ -35,6 +38,9 @@ _GUARD_KEYS = (
     "dynamic_events_per_sec",
     "dynamic_drift",
     "dynamic_tick_speedup",
+    "serve_qps",
+    "serve_p50_ms",
+    "serve_p99_ms",
 )
 
 

@@ -1,0 +1,113 @@
+"""Performance guards for the serving tier.
+
+One load contract from the serving refactor:
+
+* **≥500 sustained QPS with p99 ≤ 200 ms at 64 concurrent clients
+  (n=100 000, sharded corpus).**  A lazy point-backed corpus is prepared
+  once with a sharding config (so full-universe queries would run the
+  core-set pipeline and pool restrictions stay O(k·d)); 64 client
+  coroutines each submit 8 pool-restricted queries (pools of 256, p=10,
+  half drawn from a shared hot-pool set so the restriction LRU cache is
+  exercised) against an async :class:`~repro.serve.server.Server` that
+  micro-batches them into solve windows.  The guard keys exported to the
+  CI trajectory are ``serve_qps``, ``serve_p50_ms`` and ``serve_p99_ms``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from repro.data.synthetic import make_feature_instance
+from repro.serve.corpus import PreparedCorpus
+from repro.serve.server import Server
+
+from .conftest import run_once
+
+SERVE_N, SERVE_DIM = 100_000, 8
+SERVE_SHARD_SIZE = 4096
+SERVE_CLIENTS, SERVE_QUERIES_PER_CLIENT = 64, 8
+SERVE_POOL_SIZE, SERVE_P = 256, 10
+SERVE_HOT_POOLS = 16
+SERVE_MAX_BATCH, SERVE_MAX_WAIT_S = 32, 0.002
+
+MIN_SERVE_QPS = 500.0
+MAX_SERVE_P99_MS = 200.0
+
+
+def _client_pools(rng: np.random.Generator):
+    """Per-client query pools: even queries hit a shared hot-pool set (LRU
+    cache territory), odd queries are unique pools."""
+    hot = [
+        rng.choice(SERVE_N, size=SERVE_POOL_SIZE, replace=False).tolist()
+        for _ in range(SERVE_HOT_POOLS)
+    ]
+    pools = []
+    for _ in range(SERVE_CLIENTS):
+        per_client = []
+        for q in range(SERVE_QUERIES_PER_CLIENT):
+            if q % 2 == 0:
+                per_client.append(hot[int(rng.integers(SERVE_HOT_POOLS))])
+            else:
+                per_client.append(
+                    rng.choice(SERVE_N, size=SERVE_POOL_SIZE, replace=False).tolist()
+                )
+        pools.append(per_client)
+    return pools
+
+
+def test_serve_load(benchmark):
+    """64 concurrent clients sustain ≥500 QPS with p99 ≤ 200 ms (n=100k)."""
+    rng = np.random.default_rng(53)
+    instance = make_feature_instance(SERVE_N, dimension=SERVE_DIM, seed=53)
+    corpus = PreparedCorpus(
+        instance.quality,
+        instance.metric,
+        tradeoff=instance.tradeoff,
+        shard_size=SERVE_SHARD_SIZE,
+    )
+    assert not corpus.materialized and corpus.sharded
+    pools = _client_pools(rng)
+
+    async def load() -> dict:
+        async with Server(
+            corpus, max_batch_size=SERVE_MAX_BATCH, max_wait_s=SERVE_MAX_WAIT_S
+        ) as server:
+
+            async def client(per_client) -> None:
+                for pool in per_client:
+                    result = await server.submit(pool, p=SERVE_P)
+                    assert len(result.selected) == SERVE_P
+                    assert "candidates" in result.metadata
+
+            await asyncio.gather(*(client(per_client) for per_client in pools))
+            return server.stats.snapshot()
+
+    stats = run_once(benchmark, lambda: asyncio.run(load()))
+
+    total = SERVE_CLIENTS * SERVE_QUERIES_PER_CLIENT
+    assert stats["completed"] == total
+    cache = corpus.cache_info()
+    qps, p50_ms, p99_ms = stats["qps"], stats["p50_ms"], stats["p99_ms"]
+
+    benchmark.extra_info["n"] = SERVE_N
+    benchmark.extra_info["p"] = SERVE_P
+    benchmark.extra_info["clients"] = SERVE_CLIENTS
+    benchmark.extra_info["queries"] = total
+    benchmark.extra_info["pool_size"] = SERVE_POOL_SIZE
+    benchmark.extra_info["windows"] = int(stats["windows"])
+    benchmark.extra_info["mean_window_size"] = round(stats["mean_window_size"], 2)
+    benchmark.extra_info["cache_hits"] = cache["hits"]
+    benchmark.extra_info["serve_qps"] = round(qps, 1)
+    benchmark.extra_info["serve_p50_ms"] = round(p50_ms, 2)
+    benchmark.extra_info["serve_p99_ms"] = round(p99_ms, 2)
+    print(
+        f"\nserve load n={SERVE_N} (sharded), {SERVE_CLIENTS} clients x "
+        f"{SERVE_QUERIES_PER_CLIENT} queries, pools of {SERVE_POOL_SIZE}, "
+        f"p={SERVE_P}: {qps:.0f} QPS over {int(stats['windows'])} windows "
+        f"(mean {stats['mean_window_size']:.1f}/window), p50 {p50_ms:.1f} ms, "
+        f"p99 {p99_ms:.1f} ms, {cache['hits']} cache hits"
+    )
+    assert qps >= MIN_SERVE_QPS, f"serving sustained only {qps:.0f} QPS"
+    assert p99_ms <= MAX_SERVE_P99_MS, f"serving p99 latency {p99_ms:.1f} ms"

@@ -84,6 +84,7 @@ from repro.exceptions import (
     NumericalDegradationWarning,
     ReproError,
     ReproWarning,
+    ServerClosedError,
 )
 from repro.functions import (
     CoverageFunction,
@@ -111,6 +112,13 @@ from repro.metrics import (
     Metric,
     PatchedMetric,
     UniformRandomMetric,
+)
+from repro.serve import (
+    CorpusSnapshot,
+    PreparedCorpus,
+    ServeQuery,
+    Server,
+    ServerStats,
 )
 from repro.utils.deadline import Deadline
 
@@ -178,6 +186,12 @@ __all__ = [
     "DistanceIncrease",
     "DistanceDecrease",
     "Environment",
+    # serving
+    "PreparedCorpus",
+    "Server",
+    "ServerStats",
+    "ServeQuery",
+    "CorpusSnapshot",
     # data
     "SyntheticInstance",
     "make_synthetic_instance",
@@ -198,4 +212,5 @@ __all__ = [
     "NonFiniteDataError",
     "ReproWarning",
     "NumericalDegradationWarning",
+    "ServerClosedError",
 ]

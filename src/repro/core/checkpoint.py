@@ -27,7 +27,35 @@ from typing import Any, Dict, Mapping, Tuple
 from repro._types import Element
 from repro.exceptions import InvalidParameterError
 
-__all__ = ["SolveCheckpoint"]
+__all__ = ["SolveCheckpoint", "load_checkpoint", "save_checkpoint"]
+
+
+def save_checkpoint(checkpoint: Any, path: str) -> None:
+    """Pickle any checkpoint/snapshot object to ``path``.
+
+    Shared by every persistence point in the stack — solve checkpoints,
+    dynamic engine/session snapshots and the serving tier's corpus snapshots
+    all hold plain-data state, so one pickle helper covers them.
+    """
+    with open(path, "wb") as handle:
+        pickle.dump(checkpoint, handle)
+
+
+def load_checkpoint(path: str, expected_type: type) -> Any:
+    """Load a checkpoint written by :func:`save_checkpoint`, type-checked.
+
+    Raises :class:`~repro.exceptions.InvalidParameterError` when the pickle
+    holds anything but an ``expected_type`` instance, so a solve checkpoint
+    cannot be silently fed where a corpus snapshot was expected (and vice
+    versa).
+    """
+    with open(path, "rb") as handle:
+        checkpoint = pickle.load(handle)
+    if not isinstance(checkpoint, expected_type):
+        raise InvalidParameterError(
+            f"{path!r} does not contain a {expected_type.__name__}"
+        )
+    return checkpoint
 
 
 @dataclass(frozen=True)
@@ -93,16 +121,9 @@ class SolveCheckpoint:
     # ------------------------------------------------------------------
     def save(self, path: str) -> None:
         """Pickle the checkpoint to ``path``."""
-        with open(path, "wb") as handle:
-            pickle.dump(self, handle)
+        save_checkpoint(self, path)
 
     @staticmethod
     def load(path: str) -> "SolveCheckpoint":
         """Load a checkpoint previously written by :meth:`save`."""
-        with open(path, "rb") as handle:
-            checkpoint = pickle.load(handle)
-        if not isinstance(checkpoint, SolveCheckpoint):
-            raise InvalidParameterError(
-                f"{path!r} does not contain a SolveCheckpoint"
-            )
-        return checkpoint
+        return load_checkpoint(path, SolveCheckpoint)

@@ -102,6 +102,19 @@ class EngineSnapshot:
     applied_perturbations: int = 0
     active: Optional[Tuple[Element, ...]] = None
 
+    def save(self, path: str) -> None:
+        """Pickle the snapshot to ``path``."""
+        from repro.core.checkpoint import save_checkpoint
+
+        save_checkpoint(self, path)
+
+    @staticmethod
+    def load(path: str) -> "EngineSnapshot":
+        """Load a snapshot previously written by :meth:`save`."""
+        from repro.core.checkpoint import load_checkpoint
+
+        return load_checkpoint(path, EngineSnapshot)
+
 
 class DynamicDiversifier:
     """Maintain a max-sum diversification solution under an event stream.

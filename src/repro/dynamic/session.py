@@ -94,6 +94,19 @@ class SessionSnapshot:
     overrides: Tuple[Tuple[int, int, float], ...] = ()
     ticks: int = 0
 
+    def save(self, path: str) -> None:
+        """Pickle the snapshot to ``path``."""
+        from repro.core.checkpoint import save_checkpoint
+
+        save_checkpoint(self, path)
+
+    @staticmethod
+    def load(path: str) -> "SessionSnapshot":
+        """Load a snapshot previously written by :meth:`save`."""
+        from repro.core.checkpoint import load_checkpoint
+
+        return load_checkpoint(path, SessionSnapshot)
+
 
 class ShardedDynamicEngine:
     """Maintain a diversification solution over a huge, point-backed universe.
@@ -815,6 +828,21 @@ class DynamicSession:
         if self._dense is not None:
             return self._dense.snapshot()
         return self._sharded.snapshot(ticks=self._ticks)
+
+    def serve_corpus(self, **corpus_kwargs):
+        """A :class:`~repro.serve.PreparedCorpus` over the current instance.
+
+        The maintenance→serving handoff: the session's live weights, points
+        / distances and sparse overrides become a prepared corpus (retired
+        slots compacted away), so a serving front end answers queries against
+        exactly the universe the dynamic tier maintains.  The same
+        construction works from a persisted snapshot via
+        :meth:`repro.serve.PreparedCorpus.from_session` — that is the
+        recovery path for a serving process that died.
+        """
+        from repro.serve.corpus import PreparedCorpus
+
+        return PreparedCorpus.from_session(self, **corpus_kwargs)
 
     @classmethod
     def restore(

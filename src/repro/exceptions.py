@@ -87,3 +87,12 @@ class SolverError(ReproError):
 
 class PerturbationError(ReproError):
     """A dynamic-update perturbation is invalid for the current instance."""
+
+
+class ServerClosedError(ReproError):
+    """A serving request was submitted to (or stranded in) a stopped server.
+
+    Raised by :meth:`repro.serve.Server.submit` when the server is not
+    running, and set on the futures of requests still queued or in flight
+    when :meth:`repro.serve.Server.stop` shuts the batcher down.
+    """

@@ -23,6 +23,7 @@ from repro.experiments import (
     coreset as coreset_module,
     dynamic_fig,
     multiquery as multiquery_module,
+    serve as serve_module,
     tables,
 )
 from repro.experiments.appendix import appendix_bad_instance, run_appendix_comparison
@@ -41,6 +42,13 @@ QUICK_OVERRIDES: Dict[str, dict] = {
     "figure1": {"n": 10, "p": 4, "steps": 5, "repeats": 5},
     "multiquery": {"n": 200, "num_queries": 4, "pool_size": 40, "p": 5},
     "coreset": {"n": 1500, "p": 5, "shard_counts": (2, 8)},
+    "serve": {
+        "n": 2000,
+        "clients": 4,
+        "queries_per_client": 3,
+        "pool_size": 64,
+        "p": 5,
+    },
 }
 
 
@@ -65,6 +73,11 @@ def _run_coreset(quick: bool) -> str:
     return coreset_module.coreset(**kwargs).render()
 
 
+def _run_serve(quick: bool) -> str:
+    kwargs = QUICK_OVERRIDES["serve"] if quick else {}
+    return serve_module.serve(**kwargs).render()
+
+
 def _run_appendix(quick: bool) -> str:
     r_values = (6, 10, 20) if quick else (6, 10, 20, 40, 80)
     rows = []
@@ -83,6 +96,7 @@ TARGETS = tuple(f"table{i}" for i in range(1, 9)) + (
     "appendix",
     "multiquery",
     "coreset",
+    "serve",
     "all",
 )
 
@@ -99,7 +113,7 @@ def main(argv=None) -> int:
 
     targets = (
         [f"table{i}" for i in range(1, 9)]
-        + ["figure1", "appendix", "multiquery", "coreset"]
+        + ["figure1", "appendix", "multiquery", "coreset", "serve"]
         if args.target == "all"
         else [args.target]
     )
@@ -112,6 +126,8 @@ def main(argv=None) -> int:
             print(_run_multiquery(args.quick))
         elif target == "coreset":
             print(_run_coreset(args.quick))
+        elif target == "serve":
+            print(_run_serve(args.quick))
         else:
             print(_run_table(target, args.quick))
         print()

@@ -1,0 +1,163 @@
+"""Serving load experiment: concurrent clients over one prepared corpus.
+
+The end-to-end scenario the serving tier exists for: a fixed corpus is
+prepared once (:class:`~repro.serve.corpus.PreparedCorpus`), an async
+:class:`~repro.serve.server.Server` fronts it, and many concurrent clients
+submit pool-restricted queries that the server coalesces into micro-batch
+windows.  The report records sustained QPS, p50/p99 latency, mean window
+size, and the restriction-cache hit rate — the same numbers the load
+benchmark in ``benchmarks/test_perf_serve.py`` guards.
+
+Run it via ``python -m repro.experiments serve [--quick]``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from repro.data.synthetic import make_feature_instance
+from repro.exceptions import InvalidParameterError
+from repro.experiments.tables import TableResult
+from repro.serve.corpus import PreparedCorpus
+from repro.serve.server import Server
+from repro.utils.rng import SeedLike, make_rng
+
+
+async def _drive_load(
+    server: Server,
+    pools,
+    *,
+    queries_per_client: int,
+    p: int,
+    deadline_s: Optional[float],
+) -> int:
+    """Run one coroutine per client; return the number of completed queries."""
+
+    async def client(client_pools) -> int:
+        done = 0
+        for pool in client_pools:
+            await server.submit(pool, p=p, deadline_s=deadline_s)
+            done += 1
+        return done
+
+    totals = await asyncio.gather(
+        *(client(pools[i]) for i in range(len(pools)))
+    )
+    return sum(totals)
+
+
+def serve(
+    n: int = 50_000,
+    clients: int = 32,
+    queries_per_client: int = 8,
+    pool_size: int = 256,
+    p: int = 10,
+    dimension: int = 8,
+    hot_pools: int = 8,
+    max_batch_size: int = 32,
+    max_wait_s: float = 0.002,
+    deadline_s: Optional[float] = None,
+    shard_size: Optional[int] = None,
+    seed: SeedLike = 0,
+) -> TableResult:
+    """Benchmark the serving tier under concurrent client load.
+
+    Parameters
+    ----------
+    n, dimension:
+        Corpus size and feature dimension (lazy Euclidean metric — O(n·d)
+        memory, so ``n`` can be large).
+    clients, queries_per_client, pool_size, p:
+        Load shape: concurrent client coroutines, sequential queries each,
+        per-query candidate-pool size, and the cardinality constraint.
+    hot_pools:
+        Size of a shared pool set clients draw from (with replacement) for
+        half their queries — exercising the restriction-view LRU cache the
+        way repeated production queries do.  The other half are unique pools.
+    max_batch_size, max_wait_s:
+        Server micro-batching knobs.
+    deadline_s:
+        Optional per-request deadline, anchored at submission.
+    shard_size:
+        When given, the corpus shards full-universe queries; pool queries are
+        unaffected.
+    seed:
+        Load-generator seed.
+    """
+    if pool_size > n:
+        raise InvalidParameterError("pool_size cannot exceed the corpus size")
+    if clients < 1 or queries_per_client < 1:
+        raise InvalidParameterError("need at least one client and one query")
+    instance = make_feature_instance(n, dimension=dimension, seed=seed)
+    corpus = PreparedCorpus(
+        instance.quality,
+        instance.metric,
+        tradeoff=instance.tradeoff,
+        shard_size=shard_size,
+    )
+    rng = make_rng(seed)
+    shared = [
+        rng.choice(n, size=pool_size, replace=False).tolist()
+        for _ in range(max(1, hot_pools))
+    ]
+    pools = []
+    for _ in range(clients):
+        client_pools = []
+        for q in range(queries_per_client):
+            if q % 2 == 0:
+                client_pools.append(shared[int(rng.integers(len(shared)))])
+            else:
+                client_pools.append(
+                    rng.choice(n, size=pool_size, replace=False).tolist()
+                )
+        pools.append(client_pools)
+
+    async def run() -> dict:
+        async with Server(
+            corpus, max_batch_size=max_batch_size, max_wait_s=max_wait_s
+        ) as server:
+            completed = await _drive_load(
+                server,
+                pools,
+                queries_per_client=queries_per_client,
+                p=p,
+                deadline_s=deadline_s,
+            )
+            stats = server.stats.snapshot()
+        stats["driven"] = completed
+        return stats
+
+    stats = asyncio.run(run())
+    cache = corpus.cache_info()
+    lookups = cache["hits"] + cache["misses"]
+
+    result = TableResult(
+        name=(
+            f"Serving load: {clients} clients x {queries_per_client} queries, "
+            f"corpus n={n} ({'sharded' if corpus.sharded else 'unsharded'}, "
+            f"{'matrix' if corpus.materialized else 'lazy'} tier), "
+            f"pools of {pool_size}, p={p}"
+        ),
+        headers=[
+            "Queries",
+            "Windows",
+            "Mean window",
+            "QPS",
+            "p50 (ms)",
+            "p99 (ms)",
+            "Cache hit rate",
+        ],
+    )
+    result.records.append(
+        {
+            "Queries": int(stats["completed"]),
+            "Windows": int(stats["windows"]),
+            "Mean window": round(stats["mean_window_size"], 2),
+            "QPS": round(stats["qps"], 1),
+            "p50 (ms)": round(stats["p50_ms"], 2),
+            "p99 (ms)": round(stats["p99_ms"], 2),
+            "Cache hit rate": round(cache["hits"] / lookups, 3) if lookups else 0.0,
+        }
+    )
+    return result

@@ -73,6 +73,22 @@ class Deadline:
             return deadline
         return cls(deadline)
 
+    @classmethod
+    def earliest(
+        cls, *deadlines: Optional["Deadline"]
+    ) -> Optional["Deadline"]:
+        """The deadline with the least remaining budget (``None``s ignored).
+
+        The serving tier's window executor combines a per-request budget with
+        the shared batch budget this way: the effective deadline of a query
+        is whichever clock runs out first, and ``None`` (no constraint at
+        all) only wins when every argument is ``None``.
+        """
+        live = [deadline for deadline in deadlines if deadline is not None]
+        if not live:
+            return None
+        return min(live, key=lambda deadline: deadline.remaining())
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

@@ -56,5 +56,6 @@ class TestCli:
             "appendix",
             "multiquery",
             "coreset",
+            "serve",
             "all",
         }

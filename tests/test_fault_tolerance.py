@@ -9,7 +9,9 @@ metadata instead.
 
 from __future__ import annotations
 
+import asyncio
 import pickle
+import threading
 import time
 import warnings
 
@@ -568,3 +570,119 @@ class TestDynamicSessionFaults:
         engine.apply_events(builder.build())
         assert not engine.degraded
         assert len(engine.solution) == 5
+
+
+# ----------------------------------------------------------------------
+# Serving-tier fault modes
+# ----------------------------------------------------------------------
+class TestServeFaults:
+    """The serving failure contract: every fault stays per-request."""
+
+    def test_disconnect_mid_window_cancels_only_that_request(self, instance):
+        from repro.serve import PreparedCorpus, Server
+
+        quality, metric = instance
+
+        class BlockingCorpus(PreparedCorpus):
+            """Corpus whose window executor waits for the test's go signal."""
+
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.entered = threading.Event()
+                self.release = threading.Event()
+
+            def solve_window(self, requests, **kwargs):
+                self.entered.set()
+                assert self.release.wait(timeout=30.0)
+                return super().solve_window(requests, **kwargs)
+
+        corpus = BlockingCorpus(quality, metric, tradeoff=0.8)
+        pools = [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9, 10, 11]]
+
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            async with Server(corpus, max_batch_size=3, max_wait_s=0.5) as server:
+                tasks = [
+                    asyncio.ensure_future(server.submit(pool, p=2))
+                    for pool in pools
+                ]
+                # Wait until the whole window is executing off-loop, then
+                # disconnect the middle client mid-window.
+                await loop.run_in_executor(None, corpus.entered.wait)
+                tasks[1].cancel()
+                corpus.release.set()
+                results = await asyncio.gather(*tasks, return_exceptions=True)
+                stats = server.stats.snapshot()
+            return results, stats
+
+        results, stats = asyncio.run(scenario())
+        assert isinstance(results[1], asyncio.CancelledError)
+        # The disconnected request's skip hook fired; its neighbours solved.
+        for survivor in (results[0], results[2]):
+            assert len(survivor.selected) == 2
+        assert stats["completed"] == 2
+        assert stats["cancelled"] == 1
+        assert stats["failed"] == 0
+
+    def test_deadline_expiry_returns_best_so_far_per_request(self, instance):
+        from repro.serve import PreparedCorpus, Server
+
+        quality, metric = instance
+        # Slow oracle + lazy tier: every greedy iteration pays oracle calls,
+        # so a short per-request budget interrupts mid-run.
+        slow = SlowMetric(metric, 0.1, only_in_workers=False, fail_times=None)
+        corpus = PreparedCorpus(quality, slow, tradeoff=0.8, materialize=False)
+
+        async def scenario():
+            async with Server(corpus, max_batch_size=2, max_wait_s=0.2) as server:
+                return await asyncio.gather(
+                    server.submit(None, p=6, deadline_s=0.02),
+                    server.submit(list(range(12)), p=3),
+                )
+
+        expired, unhurried = asyncio.run(scenario())
+        # The deadlined request interrupted but stayed feasible (best-so-far
+        # is a valid partial selection, possibly empty); its co-batched
+        # neighbour ran to completion untouched.
+        assert expired.metadata["interrupted"] is True
+        assert len(expired.selected) <= 6
+        assert "interrupted" not in unhurried.metadata
+        assert len(unhurried.selected) == 3
+
+    def test_crashed_shard_worker_degrades_without_failing_window(self, instance):
+        from repro.serve import PreparedCorpus, Server
+
+        quality, metric = instance
+        faulty = WorkerKillingMetric(metric)  # kills only pool workers
+        corpus = PreparedCorpus(
+            quality,
+            faulty,
+            tradeoff=0.8,
+            shards=4,
+            shard_workers=2,
+            shard_executor="process",
+        )
+        assert corpus.sharded and not corpus.materialized
+
+        async def scenario():
+            async with Server(corpus, max_batch_size=2, max_wait_s=0.5) as server:
+                sharded, pooled = await asyncio.gather(
+                    server.submit(None, p=5),
+                    server.submit(list(range(20)), p=4),
+                )
+                stats = server.stats.snapshot()
+            return sharded, pooled, stats
+
+        sharded, pooled, stats = asyncio.run(scenario())
+        # The killed worker degraded the sharded request to the serial
+        # fallback — a full answer with degradation metadata, not an error.
+        assert len(sharded.selected) == 5
+        assert sharded.metadata["degraded"] is True
+        stages = {f["stage"] for f in sharded.metadata["sharding"]["failures"]}
+        assert "worker_crash" in stages or "worker" in stages
+        # The co-batched pool request (parent process, kill never fires
+        # there) was untouched by its neighbour's crashing workers.
+        assert len(pooled.selected) == 4
+        assert "degraded" not in pooled.metadata
+        assert stats["completed"] == 2
+        assert stats["failed"] == 0

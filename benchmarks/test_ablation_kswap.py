@@ -34,7 +34,11 @@ def _simulate(n, p, tradeoff, steps, repeats, seed):
         rng = make_rng(seed + 1000 + repeat)
 
         def objective():
-            return Objective(ModularFunction(weights), DistanceMatrix(distances, copy=False), tradeoff)
+            return Objective(
+                ModularFunction(weights),
+                DistanceMatrix(distances, copy=False),
+                tradeoff,
+            )
 
         initial = set(greedy_diversify(objective(), p).selected)
         solution_single = set(initial)
@@ -62,20 +66,34 @@ def _sweep(tradeoffs, n, p, steps, repeats, seed):
     for tradeoff in tradeoffs:
         single, double = _simulate(n, p, tradeoff, steps, repeats, seed)
         rows.append(
-            {"lambda": tradeoff, "worst_ratio_1swap": single, "worst_ratio_2swap": double}
+            {
+                "lambda": tradeoff,
+                "worst_ratio_1swap": single,
+                "worst_ratio_2swap": double,
+            }
         )
     return rows
 
 
 def test_ablation_kswap_dynamic_updates(benchmark):
     rows = run_once(
-        benchmark, _sweep, tradeoffs=(0.2, 0.6, 1.0), n=12, p=4, steps=8, repeats=5, seed=314
+        benchmark,
+        _sweep,
+        tradeoffs=(0.2, 0.6, 1.0),
+        n=12,
+        p=4,
+        steps=8,
+        repeats=5,
+        seed=314,
     )
     print()
     print(
         format_table(
             ["lambda", "worst_ratio_1swap", "worst_ratio_2swap"],
-            [[r["lambda"], r["worst_ratio_1swap"], r["worst_ratio_2swap"]] for r in rows],
+            [
+                [r["lambda"], r["worst_ratio_1swap"], r["worst_ratio_2swap"]]
+                for r in rows
+            ],
             title="Ablation: single-swap vs 2-swap dynamic repair (worst OPT / value)",
         )
     )

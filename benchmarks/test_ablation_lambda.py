@@ -27,7 +27,11 @@ def _sweep(n, p_values, tradeoffs, seed):
             instance = instance_cache[tradeoff]
             result = greedy_diversify(instance.objective, p)
             dispersion_part = tradeoff * result.dispersion_value
-            share = dispersion_part / result.objective_value if result.objective_value else 0.0
+            share = (
+                dispersion_part / result.objective_value
+                if result.objective_value
+                else 0.0
+            )
             rows.append(
                 {
                     "lambda": tradeoff,
@@ -42,14 +46,25 @@ def _sweep(n, p_values, tradeoffs, seed):
 
 def test_ablation_lambda_composition(benchmark):
     rows = run_once(
-        benchmark, _sweep, n=100, p_values=(5, 15, 30), tradeoffs=(0.05, 0.2, 1.0), seed=99
+        benchmark,
+        _sweep,
+        n=100,
+        p_values=(5, 15, 30),
+        tradeoffs=(0.05, 0.2, 1.0),
+        seed=99,
     )
     print()
     print(
         format_table(
             ["lambda", "p", "quality", "weighted_dispersion", "dispersion_share"],
             [
-                [r["lambda"], r["p"], r["quality"], r["weighted_dispersion"], r["dispersion_share"]]
+                [
+                    r["lambda"],
+                    r["p"],
+                    r["quality"],
+                    r["weighted_dispersion"],
+                    r["dispersion_share"],
+                ]
                 for r in rows
             ],
             title="Ablation: quality vs dispersion share of Greedy B's objective",
@@ -62,7 +77,9 @@ def test_ablation_lambda_composition(benchmark):
     # Dispersion share grows with p for each λ, and with λ for each p.
     by_lambda = {}
     for row in rows:
-        by_lambda.setdefault(row["lambda"], []).append((row["p"], row["dispersion_share"]))
+        by_lambda.setdefault(row["lambda"], []).append(
+            (row["p"], row["dispersion_share"])
+        )
     for shares in by_lambda.values():
         ordered = [share for _, share in sorted(shares)]
         assert all(b >= a - 1e-9 for a, b in zip(ordered, ordered[1:]))

@@ -29,13 +29,21 @@ def _sweep(n, p, trials, multiples, seed):
                 objective, greedy, p=p, time_budget_multiple=multiple
             )
             improvement += refined.objective_value / greedy.objective_value
-        rows.append({"budget_multiple": multiple, "LS_over_GreedyB": improvement / trials})
+        rows.append(
+            {"budget_multiple": multiple, "LS_over_GreedyB": improvement / trials}
+        )
     return rows
 
 
 def test_ablation_local_search_budget(benchmark):
     rows = run_once(
-        benchmark, _sweep, n=200, p=20, trials=3, multiples=(0.0, 1.0, 5.0, 10.0, 50.0), seed=88
+        benchmark,
+        _sweep,
+        n=200,
+        p=20,
+        trials=3,
+        multiples=(0.0, 1.0, 5.0, 10.0, 50.0),
+        seed=88,
     )
     print()
     print(

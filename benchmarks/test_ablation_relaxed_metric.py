@@ -48,7 +48,9 @@ def _sweep(n, p, stretches, trials, seed):
             alpha_total += min(relaxation_parameter(metric), 2.0)
             optimum = exact_diversify(objective, p, method="enumerate").objective_value
             af_greedy_b += optimum / greedy_diversify(objective, p).objective_value
-            af_greedy_a += optimum / gollapudi_sharma_greedy(objective, p).objective_value
+            af_greedy_a += (
+                optimum / gollapudi_sharma_greedy(objective, p).objective_value
+            )
         rows.append(
             {
                 "stretch": stretch,
@@ -68,7 +70,10 @@ def test_ablation_relaxed_triangle_inequality(benchmark):
     print(
         format_table(
             ["stretch", "alpha", "AF_GreedyB", "AF_GreedyA"],
-            [[r["stretch"], r["alpha"], r["AF_GreedyB"], r["AF_GreedyA"]] for r in rows],
+            [
+                [r["stretch"], r["alpha"], r["AF_GreedyB"], r["AF_GreedyA"]]
+                for r in rows
+            ],
             title="Ablation: approximation factor vs relaxed triangle inequality",
         )
     )

@@ -27,7 +27,9 @@ def _streaming_sweep(n, p, trials, seed):
         instance = make_synthetic_instance(n, seed=derive_seed(seed, trial))
         objective = instance.objective
         offline = greedy_diversify(objective, p).objective_value
-        order = [int(x) for x in make_rng(derive_seed(seed, 100 + trial)).permutation(n)]
+        order = [
+            int(x) for x in make_rng(derive_seed(seed, 100 + trial)).permutation(n)
+        ]
         online = streaming_diversify(objective, p, order)
         rows.append(
             {
@@ -48,7 +50,13 @@ def test_ablation_streaming_vs_offline(benchmark):
         format_table(
             ["trial", "offline_greedy", "streaming", "streaming_over_offline", "swaps"],
             [
-                [r["trial"], r["offline_greedy"], r["streaming"], r["streaming_over_offline"], r["swaps"]]
+                [
+                    r["trial"],
+                    r["offline_greedy"],
+                    r["streaming"],
+                    r["streaming_over_offline"],
+                    r["swaps"],
+                ]
                 for r in rows
             ],
             title="Ablation: one-pass streaming vs offline Greedy B (N=200, p=15)",
@@ -74,13 +82,16 @@ def _knapsack_sweep(n, trials, seed):
         costs = rng.uniform(0.5, 2.0, size=n)
         budget = float(np.sum(np.sort(costs)[:4]))  # roughly a 4-element budget
         plain = knapsack_greedy(objective, costs, budget)
-        enumerated = knapsack_greedy(objective, costs, budget, partial_enumeration_size=2)
+        enumerated = knapsack_greedy(
+            objective, costs, budget, partial_enumeration_size=2
+        )
         optimum = exact_knapsack_diversify(objective, costs, budget)
         rows.append(
             {
                 "trial": trial,
                 "AF_plain": optimum.objective_value / max(plain.objective_value, 1e-12),
-                "AF_enum2": optimum.objective_value / max(enumerated.objective_value, 1e-12),
+                "AF_enum2": optimum.objective_value
+                / max(enumerated.objective_value, 1e-12),
             }
         )
     return rows

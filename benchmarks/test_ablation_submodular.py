@@ -63,7 +63,10 @@ def test_ablation_submodular_quality(benchmark):
     print(
         format_table(
             ["quality", "AF_GreedyB", "AF_LocalSearch", "AF_MMR"],
-            [[r["quality"], r["AF_GreedyB"], r["AF_LocalSearch"], r["AF_MMR"]] for r in rows],
+            [
+                [r["quality"], r["AF_GreedyB"], r["AF_LocalSearch"], r["AF_MMR"]]
+                for r in rows
+            ],
             title="Ablation: submodular quality functions (OPT / ALG)",
         )
     )

@@ -32,7 +32,10 @@ def test_appendix_greedy_unbounded_local_search_bounded(benchmark):
     print(
         format_table(
             ["r", "greedy_ratio", "local_search_ratio"],
-            [[row["r"], row["greedy_ratio"], row["local_search_ratio"]] for row in rows],
+            [
+                [row["r"], row["greedy_ratio"], row["local_search_ratio"]]
+                for row in rows
+            ],
             title="Appendix: partition-matroid bad instance",
         )
     )

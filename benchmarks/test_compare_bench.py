@@ -122,7 +122,9 @@ class TestMain:
             _snapshot("base1", "2026-08-01T00:00:00", GUARDS),
             _snapshot("base2", "2026-08-02T00:00:00", GUARDS),
         )
-        _write(tmp_path, "fresh.json", _snapshot("head1", "2026-08-03T00:00:00", GUARDS))
+        _write(
+            tmp_path, "fresh.json", _snapshot("head1", "2026-08-03T00:00:00", GUARDS)
+        )
         code = compare_bench.main(
             [str(tmp_path / "fresh.json"), "--baselines", baselines]
         )
@@ -133,7 +135,9 @@ class TestMain:
         assert "base1" in out and "base2" in out and "(fresh)" in out
 
     def test_missing_baselines_pass_with_note(self, tmp_path, capsys):
-        _write(tmp_path, "fresh.json", _snapshot("head1", "2026-08-03T00:00:00", GUARDS))
+        _write(
+            tmp_path, "fresh.json", _snapshot("head1", "2026-08-03T00:00:00", GUARDS)
+        )
         code = compare_bench.main(
             [
                 str(tmp_path / "fresh.json"),

@@ -77,7 +77,9 @@ def test_dynamic_tick_speedup(benchmark):
     matrix = matrix + matrix.T  # d in [1,2]: a metric, no validation pass needed
     engine = DynamicDiversifier(weights, matrix, DENSE_P, use_certificate=False)
 
-    stream = _mixed_events(np.random.default_rng(37), DENSE_N, LEGACY_SAMPLE + TICK_EVENTS)
+    stream = _mixed_events(
+        np.random.default_rng(37), DENSE_N, LEGACY_SAMPLE + TICK_EVENTS
+    )
     legacy_stream, tick_stream = stream[:LEGACY_SAMPLE], stream[LEGACY_SAMPLE:]
 
     started = time.perf_counter()

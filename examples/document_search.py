@@ -48,7 +48,9 @@ def main() -> None:
     args = parser.parse_args()
 
     pool_size = 60 if args.quick else 370
-    corpus = SyntheticLetorCorpus(num_queries=1, docs_per_query=pool_size, seed=args.seed)
+    corpus = SyntheticLetorCorpus(
+        num_queries=1, docs_per_query=pool_size, seed=args.seed
+    )
     query = corpus.query(0).top_documents(50 if args.quick else 200)
     print(f"Query pool: {query.n} documents, returning p={args.p} results")
     print()
@@ -76,7 +78,9 @@ def main() -> None:
     show_selection("submodular aspect coverage", query, covered)
     print()
 
-    aspects_relevance = len({query.documents[i].aspect for i in relevance_only.selected})
+    aspects_relevance = len(
+        {query.documents[i].aspect for i in relevance_only.selected}
+    )
     aspects_diverse = len({query.documents[i].aspect for i in diversified.selected})
     aspects_covered = len({query.documents[i].aspect for i in covered.selected})
     print(

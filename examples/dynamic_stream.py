@@ -55,7 +55,9 @@ def random_perturbation(engine, rng):
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--quick", action="store_true", help="fewer steps / smaller instance")
+    parser.add_argument(
+        "--quick", action="store_true", help="fewer steps / smaller instance"
+    )
     parser.add_argument("--n", type=int, default=None)
     parser.add_argument("--p", type=int, default=5)
     parser.add_argument("--steps", type=int, default=None)
@@ -73,7 +75,10 @@ def main() -> None:
     rng = np.random.default_rng(args.seed + 1)
 
     print(f"n={n}, p={args.p}, lambda={instance.tradeoff}, steps={steps}")
-    print(f"initial solution {sorted(engine.solution)} value={engine.solution_value:.3f}")
+    print(
+        f"initial solution {sorted(engine.solution)} "
+        f"value={engine.solution_value:.3f}"
+    )
     print()
 
     swaps = 0
@@ -134,7 +139,10 @@ def main() -> None:
             f"tick {tick:>2}: value={outcome.objective_value:8.3f} "
             f"swaps={outcome.num_swaps} certified={'yes' if certified else 'no'}"
         )
-    print(f"batched final solution {sorted(session.solution)} value={session.solution_value:.3f}")
+    print(
+        f"batched final solution {sorted(session.solution)} "
+        f"value={session.solution_value:.3f}"
+    )
 
 
 if __name__ == "__main__":

@@ -40,7 +40,9 @@ def describe(name, instance, selected) -> None:
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--quick", action="store_true", help="use fewer candidate sites")
+    parser.add_argument(
+        "--quick", action="store_true", help="use fewer candidate sites"
+    )
     parser.add_argument("--sites", type=int, default=None)
     parser.add_argument("--p", type=int, default=6)
     parser.add_argument("--seed", type=int, default=3)
@@ -49,7 +51,10 @@ def main() -> None:
     n = args.sites or (25 if args.quick else 80)
     instance = make_geo_instance(n, num_districts=4, tradeoff=0.15, seed=args.seed)
     objective = instance.objective
-    print(f"{n} candidate sites, selecting p={args.p} facilities, lambda={instance.tradeoff}")
+    print(
+        f"{n} candidate sites, selecting p={args.p} facilities, "
+        f"lambda={instance.tradeoff}"
+    )
     print()
 
     # Pure dispersion (f ≡ 0): the classical max-sum p-dispersion problem.

@@ -52,7 +52,10 @@ def main() -> None:
             f"return={instance.expected_returns[stock]:.3f} "
             f"risk={instance.risk_return[stock, 0]:.3f}"
         )
-    print(f"  objective={portfolio.objective_value:.3f}, sectors used={dict(sector_counts)}")
+    print(
+        f"  objective={portfolio.objective_value:.3f}, "
+        f"sectors used={dict(sector_counts)}"
+    )
     print()
 
     # Contrast: the same budget with only a cardinality constraint (greedy),

@@ -46,7 +46,10 @@ def main() -> None:
     refined = refine_with_local_search(objective, greedy_b, p=p)
     optimum = exact_diversify(objective, p)
 
-    print(f"{'algorithm':<12} {'objective':>10} {'quality':>9} {'dispersion':>11} {'time(ms)':>9}")
+    print(
+        f"{'algorithm':<12} {'objective':>10} {'quality':>9} "
+        f"{'dispersion':>11} {'time(ms)':>9}"
+    )
     for result in (greedy_a, greedy_b, refined, optimum):
         print(
             f"{result.algorithm:<12} {result.objective_value:>10.4f} "

@@ -45,7 +45,10 @@ def main() -> None:
     sharded_seconds = time.perf_counter() - started
     info = sharded.metadata["sharding"]
     print(f"sharded solve ({shards} shards):")
-    print(f"  objective={sharded.objective_value:.3f} in {sharded_seconds * 1e3:.0f} ms")
+    print(
+        f"  objective={sharded.objective_value:.3f} "
+        f"in {sharded_seconds * 1e3:.0f} ms"
+    )
     print(
         f"  core-set: {info['core_size']} of {n} elements "
         f"(per-shard winners: {info['per_shard_p']}, "

@@ -30,11 +30,15 @@ def main() -> None:
     args = parser.parse_args()
 
     pool_size = 80 if args.quick else 370
-    corpus = SyntheticLetorCorpus(num_queries=1, docs_per_query=pool_size, seed=args.seed)
+    corpus = SyntheticLetorCorpus(
+        num_queries=1, docs_per_query=pool_size, seed=args.seed
+    )
     query = corpus.query(0)
     objective = query.objective(args.tradeoff)
 
-    arrival_order = [int(x) for x in np.random.default_rng(args.seed).permutation(query.n)]
+    arrival_order = [
+        int(x) for x in np.random.default_rng(args.seed).permutation(query.n)
+    ]
     engine = StreamingDiversifier(objective, p=args.p)
 
     checkpoints = {max(1, query.n // 4), max(1, query.n // 2), query.n}

@@ -206,7 +206,14 @@ def matching_diversify(
         # Offset edge weights so maximum-weight matching prefers *more* edges
         # first, then heavier ones, which yields a maximum-weight matching of
         # maximum cardinality; we then keep the heaviest `num_pairs` edges.
-        offset = max(reduced.distance(u, v) for i, u in enumerate(pool) for v in pool[i + 1:]) + 1.0
+        offset = (
+            max(
+                reduced.distance(u, v)
+                for i, u in enumerate(pool)
+                for v in pool[i + 1 :]
+            )
+            + 1.0
+        )
         for i, u in enumerate(pool):
             for v in pool[i + 1 :]:
                 graph.add_edge(u, v, weight=reduced.distance(u, v) + offset)
@@ -225,7 +232,8 @@ def matching_diversify(
         if remaining:
             tracker = objective.make_tracker(selected)
             extra = max(
-                remaining, key=lambda u: objective.marginal(u, selected, tracker=tracker)
+                remaining,
+                key=lambda u: objective.marginal(u, selected, tracker=tracker),
             )
             selected.add(extra)
             order.append(extra)

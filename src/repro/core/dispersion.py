@@ -110,7 +110,11 @@ def greedy_dispersion(
         objective,
         selected,
         order,
-        algorithm="greedy_dispersion" if batch_size == 1 else f"greedy_dispersion_batch{batch_size}",
+        algorithm=(
+            "greedy_dispersion"
+            if batch_size == 1
+            else f"greedy_dispersion_batch{batch_size}"
+        ),
         iterations=iterations,
         elapsed_seconds=elapsed,
         metadata={"p": p, "batch_size": batch_size},

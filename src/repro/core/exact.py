@@ -87,7 +87,11 @@ def _branch_and_bound_cardinality(
 
     candidates = sorted(pool, key=singleton_score, reverse=True)
     index_of = {u: i for i, u in enumerate(candidates)}
-    dmax = float(matrix[np.ix_(candidates, candidates)].max()) if len(candidates) > 1 else 0.0
+    dmax = (
+        float(matrix[np.ix_(candidates, candidates)].max())
+        if len(candidates) > 1
+        else 0.0
+    )
 
     # Seed the incumbent with the greedy solution (cheap, usually excellent).
     from repro.core.greedy import greedy_diversify
@@ -214,7 +218,11 @@ def exact_diversify(
             best_set, _, examined = _enumerate_cardinality(
                 objective, pool, p, subset_limit
             )
-        metadata = {"p": p, "examined": examined, "method": "branch_and_bound" if use_bnb else "enumerate"}
+        metadata = {
+            "p": p,
+            "examined": examined,
+            "method": "branch_and_bound" if use_bnb else "enumerate",
+        }
     else:
         assert matroid is not None
         rank = matroid.rank()

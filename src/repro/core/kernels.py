@@ -107,7 +107,9 @@ def matrix_fast_path(objective) -> Optional[Tuple[np.ndarray, np.ndarray]]:
     return weights, matrix
 
 
-def solution_split(n: int, solution: Iterable[Element]) -> Tuple[np.ndarray, np.ndarray]:
+def solution_split(
+    n: int, solution: Iterable[Element]
+) -> Tuple[np.ndarray, np.ndarray]:
     """Split the universe into sorted ``(inside, outside)`` index arrays.
 
     ``inside`` are the members of ``solution`` and ``outside`` everything

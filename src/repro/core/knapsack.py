@@ -117,7 +117,9 @@ def knapsack_greedy(
     started = time.perf_counter()
     cost_array = _validate_costs(objective, costs)
     pool: List[Element] = (
-        list(range(objective.n)) if candidates is None else list(dict.fromkeys(candidates))
+        list(range(objective.n))
+        if candidates is None
+        else list(dict.fromkeys(candidates))
     )
     affordable = [u for u in pool if cost_array[u] <= budget + 1e-12]
 
@@ -137,7 +139,12 @@ def knapsack_greedy(
     for per_unit_cost in (False, True):
         consider(
             _greedy_fill(
-                objective, cost_array, budget, set(), affordable, per_unit_cost=per_unit_cost
+                objective,
+                cost_array,
+                budget,
+                set(),
+                affordable,
+                per_unit_cost=per_unit_cost,
             )
         )
 
@@ -189,7 +196,9 @@ def exact_knapsack_diversify(
     started = time.perf_counter()
     cost_array = _validate_costs(objective, costs)
     pool: List[Element] = (
-        list(range(objective.n)) if candidates is None else list(dict.fromkeys(candidates))
+        list(range(objective.n))
+        if candidates is None
+        else list(dict.fromkeys(candidates))
     )
     if 2 ** len(pool) > subset_limit:
         raise InvalidParameterError(

@@ -320,7 +320,9 @@ def _run_swaps(
         and not objective.quality.is_modular
         and kernels.matroid_swap_vectorized(matroid)
     )
-    reference_weights = None if use_kernel else kernels.modular_weights(objective.quality)
+    reference_weights = (
+        None if use_kernel else kernels.modular_weights(objective.quality)
+    )
 
     def out_of_time() -> bool:
         if deadline is not None and deadline.expired():
@@ -445,7 +447,9 @@ def local_search_diversify(
     else:
         initial_set = set(initial)
         if not matroid.is_independent(initial_set):
-            raise InvalidParameterError("initial set must be independent in the matroid")
+            raise InvalidParameterError(
+                "initial set must be independent in the matroid"
+            )
         preference = sorted(
             range(matroid.n),
             key=lambda u: objective.quality.marginal(u, frozenset()),

@@ -102,7 +102,10 @@ class Objective:
     def value(self, subset: Iterable[Element]) -> float:
         """``φ(S) = f(S) + λ·d(S)``."""
         members = frozenset(subset)
-        return self.quality_value(members) + self._tradeoff * self.dispersion_value(members)
+        return (
+            self.quality_value(members)
+            + self._tradeoff * self.dispersion_value(members)
+        )
 
     # ------------------------------------------------------------------
     # Marginals
@@ -204,7 +207,10 @@ class Objective:
 
     def pair_value(self, x: Element, y: Element) -> float:
         """``f({x, y}) + λ·d(x, y)`` — the pair score used by initializations."""
-        return self._quality.value({x, y}) + self._tradeoff * self._metric.distance(x, y)
+        return (
+            self._quality.value({x, y})
+            + self._tradeoff * self._metric.distance(x, y)
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -87,8 +87,10 @@ def save_instance(
     metadata:
         Optional JSON-serializable metadata.
     """
-    weight_array = np.asarray(list(weights) if not isinstance(weights, np.ndarray) else weights,
-                              dtype=float)
+    weight_array = np.asarray(
+        list(weights) if not isinstance(weights, np.ndarray) else weights,
+        dtype=float,
+    )
     if weight_array.ndim != 1:
         raise InvalidParameterError("weights must be one-dimensional")
     if isinstance(distances, DistanceMatrix):
@@ -131,7 +133,11 @@ def load_instance(path: PathLike) -> SavedInstance:
     if not target.exists():
         raise InvalidParameterError(f"no such instance file: {target}")
     with np.load(target, allow_pickle=False) as archive:
-        if "header" not in archive or "weights" not in archive or "distances" not in archive:
+        if (
+            "header" not in archive
+            or "weights" not in archive
+            or "distances" not in archive
+        ):
             raise InvalidParameterError(f"{target} is not a saved repro instance")
         header = json.loads(bytes(archive["header"].tobytes()).decode("utf-8"))
         if header.get("format_version") != FORMAT_VERSION:

@@ -185,7 +185,9 @@ class SyntheticLetorCorpus:
         rng: np.random.Generator,
     ) -> Tuple[LetorDocument, ...]:
         # Aspect centroids: non-negative, roughly unit-scale feature profiles.
-        centroids = rng.gamma(shape=2.0, scale=0.5, size=(self._num_aspects, self._num_features))
+        centroids = rng.gamma(
+            shape=2.0, scale=0.5, size=(self._num_aspects, self._num_features)
+        )
         # Aspect popularity decays so some facets dominate the pool, and each
         # aspect has its own relevance affinity (how on-topic it is for the query).
         popularity = rng.dirichlet(np.linspace(3.0, 0.5, self._num_aspects))
@@ -197,7 +199,9 @@ class SyntheticLetorCorpus:
             features = centroids[aspect] + noise
             # Relevance mixes the aspect's affinity with per-document luck and
             # is skewed toward low grades (realistic pools are mostly grade 0-2).
-            raw = float(np.clip(0.55 * affinity[aspect] + 0.45 * rng.uniform(), 0.0, 1.0))
+            raw = float(
+                np.clip(0.55 * affinity[aspect] + 0.45 * rng.uniform(), 0.0, 1.0)
+            )
             grade = int(
                 np.clip(round(MAX_RELEVANCE * raw**relevance_skew), 0, MAX_RELEVANCE)
             )

@@ -169,9 +169,13 @@ class DynamicDiversifier:
         elif isinstance(distances, DistanceMatrix):
             self._distances = GrowableDistanceMatrix(distances.matrix_view(), copy=True)
         else:
-            self._distances = GrowableDistanceMatrix(np.asarray(distances, dtype=float))
+            self._distances = GrowableDistanceMatrix(
+                np.asarray(distances, dtype=float)
+            )
         if validated.n != self._distances.n:
-            raise InvalidParameterError("weights and distances cover different universes")
+            raise InvalidParameterError(
+                "weights and distances cover different universes"
+            )
         if p < 1 or p > validated.n:
             raise InvalidParameterError(
                 f"p must lie in [1, n]; got p={p} for n={validated.n}"
@@ -261,7 +265,9 @@ class DynamicDiversifier:
         return self.objective.value(self._solution)
 
     @property
-    def history(self) -> Tuple[Tuple[Union[Perturbation, EventBatch], UpdateOutcome], ...]:
+    def history(
+        self,
+    ) -> Tuple[Tuple[Union[Perturbation, EventBatch], UpdateOutcome], ...]:
         """The most recent (change, update outcome) pairs (bounded deque)."""
         return tuple(self._history)
 
@@ -421,7 +427,9 @@ class DynamicDiversifier:
         np.add.at(finals, inverse[num_sets:], batch.distance_deltas)
         if np.any(finals < -_NEGATIVITY_TOLERANCE) or not np.all(np.isfinite(finals)):
             self._run_undo(undo)
-            raise PerturbationError("a distance decrease would make the distance negative")
+            raise PerturbationError(
+                "a distance decrease would make the distance negative"
+            )
         finals = np.maximum(finals, 0.0)
         deltas = finals - before
         member_mask = self._member_mask()
@@ -461,7 +469,9 @@ class DynamicDiversifier:
             self._sync_storage()
             self._weight_store[slot] = batch.insert_weights[i]
             self._margins[slot] = (
-                float(self._distances.array[slot, members].sum()) if members.size else 0.0
+                float(self._distances.array[slot, members].sum())
+                if members.size
+                else 0.0
             )
             inserted.append(slot)
         return inserted

@@ -188,7 +188,9 @@ class EventBatchBuilder:
         self._distance_sets.append((min(u, v), max(u, v), value))
         return self
 
-    def change_distance(self, u: Element, v: Element, delta: float) -> "EventBatchBuilder":
+    def change_distance(
+        self, u: Element, v: Element, delta: float
+    ) -> "EventBatchBuilder":
         """Record ``d(u, v) += delta`` (either sign; Type III/IV for ±)."""
         u, v = int(u), int(v)
         if u == v:
@@ -248,9 +250,13 @@ class EventBatchBuilder:
         if isinstance(perturbation, WeightDecrease):
             return self.change_weight(perturbation.element, -perturbation.delta)
         if isinstance(perturbation, DistanceIncrease):
-            return self.change_distance(perturbation.u, perturbation.v, perturbation.delta)
+            return self.change_distance(
+                perturbation.u, perturbation.v, perturbation.delta
+            )
         if isinstance(perturbation, DistanceDecrease):
-            return self.change_distance(perturbation.u, perturbation.v, -perturbation.delta)
+            return self.change_distance(
+                perturbation.u, perturbation.v, -perturbation.delta
+            )
         raise PerturbationError(f"unknown perturbation {perturbation!r}")
 
     # ------------------------------------------------------------------
@@ -286,7 +292,9 @@ class EventBatchBuilder:
         def floats(values: List[float]) -> np.ndarray:
             return _readonly(np.asarray(values, dtype=float))
 
-        def pairs(events: List[Tuple[int, int, float]]) -> Tuple[np.ndarray, np.ndarray]:
+        def pairs(
+            events: List[Tuple[int, int, float]],
+        ) -> Tuple[np.ndarray, np.ndarray]:
             if not events:
                 return (
                     _readonly(np.zeros((0, 2), dtype=int)),

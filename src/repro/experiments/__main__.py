@@ -105,9 +105,13 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments", description=__doc__
     )
-    parser.add_argument("target", choices=TARGETS, help="which experiment to regenerate")
     parser.add_argument(
-        "--quick", action="store_true", help="use scaled-down parameters (seconds, not minutes)"
+        "target", choices=TARGETS, help="which experiment to regenerate"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use scaled-down parameters (seconds, not minutes)",
     )
     args = parser.parse_args(argv)
 

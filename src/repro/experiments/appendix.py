@@ -53,7 +53,12 @@ class AppendixInstance:
     @property
     def greedy_trap_value(self) -> float:
         """The approximate value greedy is drawn to (taking ``a``)."""
-        return self.ell + self.epsilon + self.epsilon * (self.r * (self.r - 1) / 2) + self.r * self.epsilon
+        return (
+            self.ell
+            + self.epsilon
+            + self.epsilon * (self.r * (self.r - 1) / 2)
+            + self.r * self.epsilon
+        )
 
     @property
     def optimal_like_value(self) -> float:
@@ -101,7 +106,11 @@ def appendix_bad_instance(
     blocks = ["A", "A"] + ["C"] * r
     matroid = PartitionMatroid(blocks, {"A": 1, "C": r})
     return AppendixInstance(
-        objective=objective, matroid=matroid, r=r, ell=float(ell), epsilon=float(epsilon)
+        objective=objective,
+        matroid=matroid,
+        r=r,
+        ell=float(ell),
+        epsilon=float(epsilon),
     )
 
 

@@ -40,7 +40,9 @@ class Figure1Result:
             rows.append(
                 [tradeoff] + [self.curves[name].get(tradeoff) for name in self.curves]
             )
-        return format_table(headers, rows, title="Figure 1: worst ratio under dynamic updates")
+        return format_table(
+            headers, rows, title="Figure 1: worst ratio under dynamic updates"
+        )
 
     def worst_overall(self) -> float:
         """The single worst ratio across all environments and λ values."""

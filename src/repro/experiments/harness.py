@@ -144,7 +144,9 @@ def aggregate_trials(rows: Sequence[ComparisonRow]) -> TrialAggregate:
     algorithm_names = rows[0].values.keys()
     for name in algorithm_names:
         aggregate.mean_values[name] = sum(row.values[name] for row in rows) / len(rows)
-        aggregate.mean_times_ms[name] = sum(row.times_ms[name] for row in rows) / len(rows)
+        aggregate.mean_times_ms[name] = sum(
+            row.times_ms[name] for row in rows
+        ) / len(rows)
     optima = [row.optimal_value for row in rows if row.optimal_value is not None]
     if optima and len(optima) == len(rows):
         aggregate.mean_optimal = sum(optima) / len(optima)

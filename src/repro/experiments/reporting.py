@@ -25,7 +25,9 @@ def format_table(
     precision: int = 3,
 ) -> str:
     """Render an aligned plain-text table."""
-    rendered_rows = [[_format_cell(cell, precision=precision) for cell in row] for row in rows]
+    rendered_rows = [
+        [_format_cell(cell, precision=precision) for cell in row] for row in rows
+    ]
     widths = [len(h) for h in headers]
     for row in rendered_rows:
         for i, cell in enumerate(row):
@@ -48,7 +50,9 @@ def rows_to_markdown(
     precision: int = 3,
 ) -> str:
     """Render a GitHub-flavoured Markdown table."""
-    rendered_rows = [[_format_cell(cell, precision=precision) for cell in row] for row in rows]
+    rendered_rows = [
+        [_format_cell(cell, precision=precision) for cell in row] for row in rows
+    ]
     lines = ["| " + " | ".join(headers) + " |"]
     lines.append("|" + "|".join(["---"] * len(headers)) + "|")
     for row in rendered_rows:

@@ -92,7 +92,9 @@ def _synthetic_objectives(
     n: int, trials: int, tradeoff: float, seed: SeedLike
 ) -> List[Objective]:
     return [
-        make_synthetic_instance(n, tradeoff=tradeoff, seed=derive_seed(seed, trial)).objective
+        make_synthetic_instance(
+            n, tradeoff=tradeoff, seed=derive_seed(seed, trial)
+        ).objective
         for trial in range(trials)
     ]
 
@@ -109,8 +111,13 @@ def table1(
     algorithms = {"GreedyA": _greedy_a(), "GreedyB": _greedy_b()}
     objectives = _synthetic_objectives(n, trials, tradeoff, seed)
     table = TableResult(
-        name=f"Table 1: Greedy A vs Greedy B (N={n}, {trials} trials, lambda={tradeoff})",
-        headers=["p", "OPT", "GreedyA", "GreedyB", "AF_GreedyA", "AF_GreedyB", "AF_B/A"],
+        name=(
+            f"Table 1: Greedy A vs Greedy B "
+            f"(N={n}, {trials} trials, lambda={tradeoff})"
+        ),
+        headers=[
+            "p", "OPT", "GreedyA", "GreedyB", "AF_GreedyA", "AF_GreedyB", "AF_B/A"
+        ],
     )
     for p in p_values:
         rows = [
@@ -149,7 +156,10 @@ def table2(
     }
     objectives = _synthetic_objectives(n, trials, tradeoff, seed)
     table = TableResult(
-        name=f"Table 2: Greedy A vs Greedy B vs LS (N={n}, {trials} trials, lambda={tradeoff})",
+        name=(
+            f"Table 2: Greedy A vs Greedy B vs LS "
+            f"(N={n}, {trials} trials, lambda={tradeoff})"
+        ),
         headers=[
             "p",
             "GreedyA",
@@ -198,8 +208,13 @@ def table3(
     }
     objectives = _synthetic_objectives(n, trials, tradeoff, seed)
     table = TableResult(
-        name=f"Table 3: improved Greedy A vs improved Greedy B (N={n}, lambda={tradeoff})",
-        headers=["p", "OPT", "GreedyA", "GreedyB", "AF_GreedyA", "AF_GreedyB", "AF_B/A"],
+        name=(
+            f"Table 3: improved Greedy A vs improved Greedy B "
+            f"(N={n}, lambda={tradeoff})"
+        ),
+        headers=[
+            "p", "OPT", "GreedyA", "GreedyB", "AF_GreedyA", "AF_GreedyB", "AF_B/A"
+        ],
     )
     for p in p_values:
         rows = [
@@ -242,13 +257,20 @@ def table4(
     seed: SeedLike = 2015,
 ) -> TableResult:
     """Table 4: Greedy A vs Greedy B vs OPT on one LETOR-like query (top-50 docs)."""
-    corpus = corpus or _default_corpus(num_queries=1, docs_per_query=max(top_k, 50), seed=seed)
+    corpus = corpus or _default_corpus(
+        num_queries=1, docs_per_query=max(top_k, 50), seed=seed
+    )
     query = corpus.query(query_id).top_documents(top_k)
     objective = query.objective(tradeoff)
     algorithms = {"GreedyA": _greedy_a(), "GreedyB": _greedy_b()}
     table = TableResult(
-        name=f"Table 4: Greedy A vs Greedy B on LETOR-like data (top {top_k} documents)",
-        headers=["p", "OPT", "GreedyA", "GreedyB", "AF_GreedyA", "AF_GreedyB", "AF_B/A"],
+        name=(
+            f"Table 4: Greedy A vs Greedy B on LETOR-like data "
+            f"(top {top_k} documents)"
+        ),
+        headers=[
+            "p", "OPT", "GreedyA", "GreedyB", "AF_GreedyA", "AF_GreedyB", "AF_B/A"
+        ],
     )
     for p in p_values:
         row = compare_algorithms(objective, p, algorithms, compute_optimal=_exact)
@@ -278,7 +300,9 @@ def table5(
     seed: SeedLike = 2016,
 ) -> TableResult:
     """Table 5: Greedy A vs Greedy B vs LS on one LETOR-like query (top-370 docs)."""
-    corpus = corpus or _default_corpus(num_queries=1, docs_per_query=max(top_k, 370), seed=seed)
+    corpus = corpus or _default_corpus(
+        num_queries=1, docs_per_query=max(top_k, 370), seed=seed
+    )
     query = corpus.query(query_id).top_documents(top_k)
     objective = query.objective(tradeoff)
     algorithms = {
@@ -287,7 +311,10 @@ def table5(
         "LS": _greedy_b_then_ls(ls_budget_multiple),
     }
     table = TableResult(
-        name=f"Table 5: Greedy A vs Greedy B vs LS on LETOR-like data (top {top_k} documents)",
+        name=(
+            f"Table 5: Greedy A vs Greedy B vs LS on LETOR-like data "
+            f"(top {top_k} documents)"
+        ),
         headers=[
             "p",
             "GreedyA",
@@ -334,7 +361,10 @@ def table6(
     )
     algorithms = {"GreedyA": _greedy_a(), "GreedyB": _greedy_b()}
     table = TableResult(
-        name=f"Table 6: averaged over {corpus.num_queries} LETOR-like queries (top {top_k})",
+        name=(
+            f"Table 6: averaged over {corpus.num_queries} LETOR-like queries "
+            f"(top {top_k})"
+        ),
         headers=["p", "AF_GreedyA", "AF_GreedyB"],
     )
     for p in p_values:
@@ -376,7 +406,10 @@ def table7(
         "LS": _greedy_b_then_ls(ls_budget_multiple),
     }
     table = TableResult(
-        name=f"Table 7: averaged over {corpus.num_queries} LETOR-like queries (all documents)",
+        name=(
+            f"Table 7: averaged over {corpus.num_queries} LETOR-like queries "
+            f"(all documents)"
+        ),
         headers=[
             "p",
             "AF_B/A",
@@ -402,7 +435,8 @@ def table7(
                 "AF_LS/B": sum(relative_lsb) / len(relative_lsb),
                 "Time_GreedyA_ms": sum(time_a) / len(time_a),
                 "Time_GreedyB_ms": sum(time_b) / len(time_b),
-                "TimeRatio_A/B": (sum(time_a) / len(time_a)) / max(sum(time_b) / len(time_b), 1e-9),
+                "TimeRatio_A/B": (sum(time_a) / len(time_a))
+                / max(sum(time_b) / len(time_b), 1e-9),
             }
         )
     return table
@@ -423,7 +457,9 @@ def table8(
     algorithm returns, and how many documents each algorithm's selection has
     in common with the optimum.
     """
-    corpus = corpus or _default_corpus(num_queries=1, docs_per_query=max(top_k, 50), seed=seed)
+    corpus = corpus or _default_corpus(
+        num_queries=1, docs_per_query=max(top_k, 50), seed=seed
+    )
     query = corpus.query(query_id).top_documents(top_k)
     objective = query.objective(tradeoff)
     table = TableResult(

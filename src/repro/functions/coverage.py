@@ -166,8 +166,12 @@ class CoverageFunction(SetFunction):
             raise InvalidParameterError("invalid coverage generator parameters")
         rng = make_rng(seed)
         element_topics = [
-            rng.choice(num_topics, size=min(topics_per_element, num_topics), replace=False)
+            rng.choice(
+                num_topics, size=min(topics_per_element, num_topics), replace=False
+            )
             for _ in range(n)
         ]
-        weights = {t: float(w) for t, w in enumerate(rng.uniform(0.5, 1.5, size=num_topics))}
+        weights = {
+            t: float(w) for t, w in enumerate(rng.uniform(0.5, 1.5, size=num_topics))
+        }
         return cls([list(map(int, topics)) for topics in element_topics], weights)

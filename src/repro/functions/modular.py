@@ -26,8 +26,10 @@ class ModularFunction(SetFunction):
     """
 
     def __init__(self, weights: Union[np.ndarray, Iterable[float]]) -> None:
-        array = np.array(list(weights) if not isinstance(weights, np.ndarray) else weights,
-                         dtype=float)
+        array = np.array(
+            list(weights) if not isinstance(weights, np.ndarray) else weights,
+            dtype=float,
+        )
         if array.ndim != 1:
             raise InvalidParameterError("weights must be a 1-D array")
         # NaN passes ``array < 0`` silently; reject it (and ±inf) up front.

@@ -88,7 +88,9 @@ class RestrictedSetFunction(SetFunction):
         idx = np.asarray(candidates, dtype=int)
         return self._parent.gains(self._globals_array[idx], state.parent_state)
 
-    def push(self, state: _RestrictedGainState, element: Element) -> _RestrictedGainState:
+    def push(
+        self, state: _RestrictedGainState, element: Element
+    ) -> _RestrictedGainState:
         super().push(state, element)
         self._parent.push(state.parent_state, self._globals[element])
         return state

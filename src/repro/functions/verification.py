@@ -46,7 +46,9 @@ def _outside(n: int, subset: frozenset) -> np.ndarray:
     return np.array([u for u in range(n) if u not in subset], dtype=int)
 
 
-def check_normalized(function: SetFunction, *, tolerance: float = DEFAULT_TOLERANCE) -> None:
+def check_normalized(
+    function: SetFunction, *, tolerance: float = DEFAULT_TOLERANCE
+) -> None:
     """Raise unless ``f(∅) == 0``."""
     empty_value = function.value(frozenset())
     if abs(empty_value) > tolerance:

@@ -46,7 +46,9 @@ class Matroid(ABC):
         ``subset`` using only the independence oracle, which is correct for
         every matroid by the augmentation property.
         """
-        universe = list(range(self.n)) if subset is None else list(dict.fromkeys(subset))
+        universe = (
+            list(range(self.n)) if subset is None else list(dict.fromkeys(subset))
+        )
         independent: Set[Element] = set()
         for element in universe:
             candidate = independent | {element}

@@ -49,9 +49,13 @@ class PartitionMatroid(Matroid):
         self._block_sizes = Counter(self._block_of)
         # Integer block codes + per-element capacities for the vectorized
         # feasibility hooks (labels may be arbitrary hashables).
-        label_code = {label: code for code, label in enumerate(dict.fromkeys(self._block_of))}
+        label_code = {
+            label: code for code, label in enumerate(dict.fromkeys(self._block_of))
+        }
         self._num_blocks = len(label_code)
-        self._codes = np.array([label_code[label] for label in self._block_of], dtype=int)
+        self._codes = np.array(
+            [label_code[label] for label in self._block_of], dtype=int
+        )
         self._element_capacity = np.array(
             [self.capacity(label) for label in self._block_of], dtype=int
         )
@@ -118,7 +122,9 @@ class PartitionMatroid(Matroid):
         usage = np.bincount(self._codes[members], minlength=max(self._num_blocks, 1))
         in_codes = self._codes[incoming]
         slack = self._element_capacity[incoming] - usage[in_codes]
-        return (slack[:, None] > 0) | (self._codes[outgoing][None, :] == in_codes[:, None])
+        return (slack[:, None] > 0) | (
+            self._codes[outgoing][None, :] == in_codes[:, None]
+        )
 
     def pair_feasibility_mask(self) -> np.ndarray:
         codes = self._codes

@@ -63,7 +63,9 @@ def set_cross_distance(
     return total
 
 
-def marginal_distance(metric: Metric, element: Element, subset: Iterable[Element]) -> float:
+def marginal_distance(
+    metric: Metric, element: Element, subset: Iterable[Element]
+) -> float:
     """Return ``d_u(S) = Σ_{v ∈ S} d(u, v)`` (``u`` need not be outside S)."""
     matrix = metric.matrix_view()
     if matrix is not None:
@@ -100,7 +102,9 @@ class MarginalDistanceTracker:
     3.5
     """
 
-    def __init__(self, metric: Metric, initial: Optional[Iterable[Element]] = None) -> None:
+    def __init__(
+        self, metric: Metric, initial: Optional[Iterable[Element]] = None
+    ) -> None:
         self._metric = metric
         self._margins = np.zeros(metric.n, dtype=float)
         self._margins_view = self._margins.view()

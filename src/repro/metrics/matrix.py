@@ -396,7 +396,9 @@ class GrowableDistanceMatrix(DistanceMatrix):
         )
 
 
-def as_distance_matrix(metric: Metric, *, copy: Optional[bool] = None) -> DistanceMatrix:
+def as_distance_matrix(
+    metric: Metric, *, copy: Optional[bool] = None
+) -> DistanceMatrix:
     """Coerce any :class:`Metric` into a :class:`DistanceMatrix`.
 
     Matrix-backed metrics are returned as-is unless ``copy`` is ``True``.

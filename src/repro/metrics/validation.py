@@ -167,6 +167,9 @@ def sampled_triangle_check(
     rng = make_rng(seed)
     for _ in range(samples):
         x, y, z = rng.choice(n, size=3, replace=False)
-        if metric.distance(x, z) > metric.distance(x, y) + metric.distance(y, z) + tolerance:
+        if (
+            metric.distance(x, z)
+            > metric.distance(x, y) + metric.distance(y, z) + tolerance
+        ):
             return False
     return True

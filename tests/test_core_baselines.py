@@ -30,7 +30,9 @@ class TestReducedMetric:
                 if u == v:
                     assert reduced.distance(u, v) == 0.0
                 else:
-                    expected = w[u] + w[v] + 2 * lam * small_objective.metric.distance(u, v)
+                    expected = (
+                        w[u] + w[v] + 2 * lam * small_objective.metric.distance(u, v)
+                    )
                     assert reduced.distance(u, v) == pytest.approx(expected)
 
     def test_reduction_preserves_metric(self):
@@ -71,7 +73,9 @@ class TestGreedyA:
         objective = synthetic_objective_20
         reduced = reduced_metric(objective)
         best_pair = max(
-            ((reduced.distance(u, v), (u, v)) for u in range(20) for v in range(u + 1, 20))
+            (reduced.distance(u, v), (u, v))
+            for u in range(20)
+            for v in range(u + 1, 20)
         )[1]
         result = gollapudi_sharma_greedy(objective, 4)
         assert set(best_pair) <= result.selected

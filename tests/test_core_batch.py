@@ -95,7 +95,9 @@ class TestSolveMany:
             assert a.objective_value == pytest.approx(b.objective_value)
 
     def test_every_algorithm_dispatches(self, corpus, pools):
-        for algorithm in ("greedy_best_pair", "greedy_a", "matching", "mmr", "local_search"):
+        for algorithm in (
+            "greedy_best_pair", "greedy_a", "matching", "mmr", "local_search"
+        ):
             results = solve_many(
                 corpus.quality,
                 corpus.metric,
@@ -168,7 +170,12 @@ class TestSolveMany:
             solve_many(corpus.quality, corpus.metric, pools, tradeoff=0.2)
         with pytest.raises(InvalidParameterError):
             solve_many(
-                corpus.quality, corpus.metric, pools, tradeoff=0.2, p=3, algorithm="magic"
+                corpus.quality,
+                corpus.metric,
+                pools,
+                tradeoff=0.2,
+                p=3,
+                algorithm="magic",
             )
         with pytest.raises(InvalidParameterError):
             solve_many(

@@ -70,7 +70,9 @@ def _quality(kind: str, rng: np.random.Generator):
 @pytest.mark.parametrize("tradeoff", [0.0, 0.5, 2.0])
 def test_celf_matches_plain_and_oracle(kind, tradeoff):
     rng = np.random.default_rng(hash(kind) % 2**32)
-    objective = Objective(_quality(kind, rng), UniformRandomMetric(N, seed=13), tradeoff)
+    objective = Objective(
+        _quality(kind, rng), UniformRandomMetric(N, seed=13), tradeoff
+    )
     lazy = greedy_diversify(objective, P)
     plain = greedy_diversify(objective, P, lazy=False)
     oracle = _oracle_greedy(objective, P)
@@ -98,7 +100,9 @@ def test_celf_oblivious_and_best_pair(kind):
 
 def test_celf_metadata_counts():
     rng = np.random.default_rng(0)
-    objective = Objective(_quality("facility", rng), UniformRandomMetric(N, seed=1), 0.5)
+    objective = Objective(
+        _quality("facility", rng), UniformRandomMetric(N, seed=1), 0.5
+    )
     result = greedy_diversify(objective, P)
     celf = result.metadata["celf"]
     assert celf["quality_evaluations"] >= N  # first iteration batches everything
@@ -118,7 +122,9 @@ def test_non_submodular_quality_defaults_to_plain():
     from repro.metrics.matrix import DistanceMatrix
 
     metric = DistanceMatrix(matrix)
-    objective = Objective(DispersionFunction(metric), UniformRandomMetric(40, seed=5), 0.3)
+    objective = Objective(
+        DispersionFunction(metric), UniformRandomMetric(40, seed=5), 0.3
+    )
     result = greedy_diversify(objective, 6)
     assert result.metadata["celf"]["lazy"] is False
     assert list(result.order) == _oracle_greedy(objective, 6)

@@ -178,7 +178,13 @@ class TestSwapScanEquivalence:
         huge = 1e9
         assert (
             _scan_swaps_vectorized(
-                fast, matroid, selected, fast.make_tracker(selected), huge, weights, matrix
+                fast,
+                matroid,
+                selected,
+                fast.make_tracker(selected),
+                huge,
+                weights,
+                matrix,
             )
             is None
         )
@@ -363,7 +369,9 @@ class TestAggregateEquivalence:
         for element in members[:4]:
             fast_tracker.remove(element)
             slow_tracker.remove(element)
-        assert np.allclose(fast_tracker.marginals(), slow_tracker.marginals(), atol=1e-9)
+        assert np.allclose(
+            fast_tracker.marginals(), slow_tracker.marginals(), atol=1e-9
+        )
         assert fast_tracker.internal_dispersion == pytest.approx(
             slow_tracker.internal_dispersion, abs=1e-9
         )
@@ -415,7 +423,9 @@ class TestFeasibilityMasks:
         rng = np.random.default_rng(seed)
         n = 20
         blocks = rng.integers(0, 4, size=n).tolist()
-        matroid = PartitionMatroid(blocks, {b: int(rng.integers(1, 3)) for b in range(4)})
+        matroid = PartitionMatroid(
+            blocks, {b: int(rng.integers(1, 3)) for b in range(4)}
+        )
         basis = set(matroid.extend_to_basis(frozenset()))
         inside = np.array(sorted(basis), dtype=int)
         outside = np.array([u for u in range(n) if u not in basis], dtype=int)
@@ -429,7 +439,9 @@ class TestFeasibilityMasks:
         rng = np.random.default_rng(seed)
         n = 14
         blocks = rng.integers(0, 3, size=n).tolist()
-        matroid = PartitionMatroid(blocks, {b: int(rng.integers(1, 3)) for b in range(3)})
+        matroid = PartitionMatroid(
+            blocks, {b: int(rng.integers(1, 3)) for b in range(3)}
+        )
         mask = matroid.pair_feasibility_mask()
         for x in range(n):
             for y in range(n):
@@ -441,7 +453,9 @@ class TestFeasibilityMasks:
         matroid = UniformMatroid(6, 3)
         assert matroid.pair_feasibility_mask().all()
         assert not UniformMatroid(6, 1).pair_feasibility_mask().any()
-        mask = matroid.swap_feasibility({0, 1, 2}, np.array([3, 4]), np.array([0, 1, 2]))
+        mask = matroid.swap_feasibility(
+            {0, 1, 2}, np.array([3, 4]), np.array([0, 1, 2])
+        )
         assert mask.shape == (2, 3) and mask.all()
 
 

@@ -58,7 +58,9 @@ class TestKnapsackGreedy:
             rng = np.random.default_rng(seed)
             costs = rng.uniform(0.5, 1.5, size=9)
             budget = 3.0
-            greedy = knapsack_greedy(objective, costs, budget, partial_enumeration_size=2)
+            greedy = knapsack_greedy(
+                objective, costs, budget, partial_enumeration_size=2
+            )
             optimum = exact_knapsack_diversify(objective, costs, budget)
             assert greedy.objective_value >= optimum.objective_value / 2 - 1e-9
 

@@ -53,9 +53,9 @@ class TestMarginals:
         subset = {0, 3}
         tracker = small_objective.make_tracker(subset)
         for u in (1, 2):
-            assert small_objective.marginal(u, subset, tracker=tracker) == pytest.approx(
-                small_objective.marginal(u, subset)
-            )
+            assert small_objective.marginal(
+                u, subset, tracker=tracker
+            ) == pytest.approx(small_objective.marginal(u, subset))
             assert small_objective.potential_marginal(
                 u, subset, tracker=tracker
             ) == pytest.approx(small_objective.potential_marginal(u, subset))

@@ -33,7 +33,16 @@ class TestDispatch:
 
     @pytest.mark.parametrize(
         "algorithm",
-        ["greedy", "greedy_best_pair", "greedy_a", "greedy_a_improved", "matching", "mmr", "exact", "local_search"],
+        [
+            "greedy",
+            "greedy_best_pair",
+            "greedy_a",
+            "greedy_a_improved",
+            "matching",
+            "mmr",
+            "exact",
+            "local_search",
+        ],
     )
     def test_all_cardinality_algorithms_run(self, instance, algorithm):
         result = solve(
@@ -42,9 +51,15 @@ class TestDispatch:
         assert result.size == 3
 
     def test_exact_under_matroid(self, instance):
-        matroid = PartitionMatroid([i % 5 for i in range(15)], {j: 1 for j in range(5)})
+        matroid = PartitionMatroid(
+            [i % 5 for i in range(15)], {j: 1 for j in range(5)}
+        )
         result = solve(
-            instance.quality, instance.metric, tradeoff=0.2, matroid=matroid, algorithm="exact"
+            instance.quality,
+            instance.metric,
+            tradeoff=0.2,
+            matroid=matroid,
+            algorithm="exact",
         )
         assert result.algorithm == "exact"
 
@@ -66,7 +81,9 @@ class TestDispatch:
 class TestValidation:
     def test_unknown_algorithm(self, instance):
         with pytest.raises(InvalidParameterError):
-            solve(instance.quality, instance.metric, tradeoff=0.2, p=3, algorithm="magic")
+            solve(
+                instance.quality, instance.metric, tradeoff=0.2, p=3, algorithm="magic"
+            )
 
     def test_exactly_one_constraint(self, instance):
         with pytest.raises(InvalidParameterError):

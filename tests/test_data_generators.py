@@ -96,7 +96,10 @@ class TestLetorCorpus:
     def test_objective_assembly(self, corpus):
         objective = corpus.query(2).top_documents(20).objective(0.3)
         assert objective.n == 20
-        assert objective.quality.value({0}) == corpus.query(2).top_documents(20).relevances[0]
+        assert (
+            objective.quality.value({0})
+            == corpus.query(2).top_documents(20).relevances[0]
+        )
 
     def test_reproducible(self):
         a = SyntheticLetorCorpus(num_queries=1, docs_per_query=20, seed=3)

@@ -49,7 +49,9 @@ def _instance(n: int, seed: int):
 def _random_perturbation(engine, rng):
     kind = rng.integers(0, 4)
     if kind == 0:
-        return WeightIncrease(int(rng.integers(engine.n)), round(float(rng.uniform(0.1, 2)), 2))
+        return WeightIncrease(
+            int(rng.integers(engine.n)), round(float(rng.uniform(0.1, 2)), 2)
+        )
     if kind == 1:
         element = int(rng.integers(engine.n))
         current = engine.weight(element)
@@ -100,7 +102,11 @@ class TestBuilderValidation:
 
     def test_from_perturbations_uses_deltas(self):
         batch = EventBatch.from_perturbations(
-            [WeightIncrease(0, 1.0), WeightDecrease(1, 0.5), DistanceIncrease(2, 3, 0.1)]
+            [
+                WeightIncrease(0, 1.0),
+                WeightDecrease(1, 0.5),
+                DistanceIncrease(2, 3, 0.1),
+            ]
         )
         assert batch.weight_deltas.tolist() == [1.0, -0.5]
         assert batch.weight_set_elements.size == 0

@@ -206,7 +206,9 @@ class TestShardedEngine:
         for _ in range(8):
             builder = EventBatchBuilder()
             for _ in range(5):
-                builder.change_weight(int(rng.integers(engine.n)), float(rng.uniform(0.05, 0.5)))
+                builder.change_weight(
+                    int(rng.integers(engine.n)), float(rng.uniform(0.05, 0.5))
+                )
             engine.apply_events(builder.build())
         incremental = engine.solution_value
         full = engine.resolve_full(adopt=False).objective_value

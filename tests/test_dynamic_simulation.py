@@ -21,7 +21,11 @@ def tiny_instance():
 class TestRunSimulation:
     @pytest.mark.parametrize(
         "environment",
-        [Environment.VPERTURBATION, Environment.EPERTURBATION, Environment.MPERTURBATION],
+        [
+            Environment.VPERTURBATION,
+            Environment.EPERTURBATION,
+            Environment.MPERTURBATION,
+        ],
     )
     def test_runs_and_tracks_ratios(self, tiny_instance, environment):
         record = run_dynamic_simulation(

@@ -76,7 +76,8 @@ class TestUpdateRules:
         assert move is not None
         incoming, outgoing, gain = move
         assert gain == pytest.approx(
-            objective.value(solution - {outgoing} | {incoming}) - objective.value(solution)
+            objective.value(solution - {outgoing} | {incoming})
+            - objective.value(solution)
         )
         assert gain > 0
 

@@ -36,7 +36,12 @@ class TestHarness:
             "greedy": lambda obj, p: greedy_diversify(obj, p),
         }
         rows = [
-            compare_algorithms(objective, 3, algorithms, compute_optimal=lambda o, p: exact_diversify(o, p))
+            compare_algorithms(
+                objective,
+                3,
+                algorithms,
+                compute_optimal=lambda o, p: exact_diversify(o, p),
+            )
             for _ in range(2)
         ]
         aggregate = aggregate_trials(rows)

@@ -191,7 +191,9 @@ class TestMixtures:
             MixtureFunction([ModularFunction([1.0])], [-1.0])
 
     def test_mixture_is_modular_flag(self):
-        modular_mix = MixtureFunction([ModularFunction([1.0, 2.0]), ModularFunction([0.0, 1.0])])
+        modular_mix = MixtureFunction(
+            [ModularFunction([1.0, 2.0]), ModularFunction([0.0, 1.0])]
+        )
         assert modular_mix.is_modular
         nonmodular_mix = MixtureFunction(
             [ModularFunction([1.0, 2.0]), CoverageFunction([[0], [0]])]

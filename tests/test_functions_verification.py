@@ -113,7 +113,9 @@ class TestChecks:
 
 class TestCurvature:
     def test_modular_has_zero_curvature(self):
-        assert estimate_curvature(ModularFunction([1.0, 2.0, 3.0])) == pytest.approx(0.0)
+        assert estimate_curvature(
+            ModularFunction([1.0, 2.0, 3.0])
+        ) == pytest.approx(0.0)
 
     def test_coverage_has_positive_curvature(self):
         from repro.functions.coverage import CoverageFunction

@@ -65,7 +65,9 @@ class TestEndToEnd:
         instance = make_synthetic_instance(12, seed=9)
         objective = instance.objective
         greedy = greedy_diversify(objective, 4)
-        local = local_search_diversify(objective, UniformMatroid(12, 4), initial=greedy.selected)
+        local = local_search_diversify(
+            objective, UniformMatroid(12, 4), initial=greedy.selected
+        )
         assert local.objective_value >= greedy.objective_value - 1e-9
 
     def test_partition_matroid_blocks_respected_in_facade(self):

@@ -208,7 +208,9 @@ class TestConstructors:
 
     def test_from_points_rejects_zero_vector_for_cosine(self):
         with pytest.raises(InvalidParameterError):
-            DistanceMatrix.from_points(np.array([[0.0, 0.0], [1.0, 1.0]]), metric="cosine")
+            DistanceMatrix.from_points(
+                np.array([[0.0, 0.0], [1.0, 1.0]]), metric="cosine"
+            )
 
     def test_from_points_unknown_metric(self):
         with pytest.raises(InvalidParameterError):

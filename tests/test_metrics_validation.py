@@ -56,7 +56,9 @@ class TestValidation:
         assert not sampled_triangle_check(_bad_matrix(), samples=200, seed=0)
 
     def test_sampled_check_passes_good_metric(self):
-        assert sampled_triangle_check(UniformRandomMetric(15, seed=2), samples=200, seed=0)
+        assert sampled_triangle_check(
+            UniformRandomMetric(15, seed=2), samples=200, seed=0
+        )
 
     def test_tiny_instances_are_trivially_metrics(self):
         assert is_metric(DistanceMatrix(np.zeros((1, 1))))
@@ -103,7 +105,8 @@ class TestPairTriangleCheck:
         bad = _bad_matrix()  # the 0-1-2 triple violates via middle vertex 1
         assert pair_triangle_violations(bad, 0, 2)
         assert pair_triangle_violations(bad, 0, 2, elements=np.array([1]))
-        assert pair_triangle_violations(bad, 0, 2, elements=np.array([], dtype=int)) == []
+        empty = np.array([], dtype=int)
+        assert pair_triangle_violations(bad, 0, 2, elements=empty) == []
 
     def test_max_violations_caps_output(self):
         n = 8

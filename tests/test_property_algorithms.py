@@ -122,7 +122,10 @@ class TestCorollary4:
         # magnitude restriction, covered by the unit tests).
         choice = rng.integers(0, 3)
         if choice == 0:
-            engine.apply(WeightIncrease(int(rng.integers(0, n)), float(rng.uniform(0.1, 1))), updates=1)
+            engine.apply(
+                WeightIncrease(int(rng.integers(0, n)), float(rng.uniform(0.1, 1))),
+                updates=1,
+            )
         else:
             u, v = map(int, rng.choice(n, size=2, replace=False))
             current = engine.distance(u, v)

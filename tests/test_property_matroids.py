@@ -62,7 +62,9 @@ def _random_uniform(seed: int) -> UniformMatroid:
 
 
 def _random_truncated(seed: int) -> TruncatedMatroid:
-    return TruncatedMatroid(_random_partition(seed), int(np.random.default_rng(seed).integers(1, 4)))
+    return TruncatedMatroid(
+        _random_partition(seed), int(np.random.default_rng(seed).integers(1, 4))
+    )
 
 
 FAMILIES = {
@@ -121,8 +123,12 @@ class TestMatroidAxiomsProperty:
         # Build two (possibly different) bases by extending from random orders.
         order_a = list(rng.permutation(matroid.n))
         order_b = list(rng.permutation(matroid.n))
-        basis_a = matroid.extend_to_basis(frozenset(), preference=[int(x) for x in order_a])
-        basis_b = matroid.extend_to_basis(frozenset(), preference=[int(x) for x in order_b])
+        basis_a = matroid.extend_to_basis(
+            frozenset(), preference=[int(x) for x in order_a]
+        )
+        basis_b = matroid.extend_to_basis(
+            frozenset(), preference=[int(x) for x in order_b]
+        )
         mapping = exchange_bijection(matroid, basis_a, basis_b)
         assert set(mapping.keys()) == set(basis_a) - set(basis_b)
         assert set(mapping.values()) == set(basis_b) - set(basis_a)

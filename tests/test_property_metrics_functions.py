@@ -53,7 +53,9 @@ class TestMetricProperties:
         rng = np.random.default_rng(seed + 1)
         members = list(rng.choice(n, size=rng.integers(0, n), replace=False))
         tracker = MarginalDistanceTracker(metric, initial=members)
-        assert tracker.internal_dispersion == pytest.approx(set_distance(metric, members))
+        assert tracker.internal_dispersion == pytest.approx(
+            set_distance(metric, members)
+        )
         for u in range(n):
             if u in members:
                 continue

@@ -44,6 +44,8 @@ LOWER_IS_BETTER = frozenset(
         "dynamic_drift",
         "serve_p50_ms",
         "serve_p99_ms",
+        "wal_overhead",
+        "recovery_seconds",
     }
 )
 
@@ -57,6 +59,8 @@ ABSOLUTE_SLACK: Dict[str, float] = {
     "interrupted_solve_overhead": 0.02,
     "serve_p50_ms": 25.0,
     "serve_p99_ms": 50.0,
+    "wal_overhead": 0.05,
+    "recovery_seconds": 5.0,
 }
 
 DEFAULT_THRESHOLD = 0.30

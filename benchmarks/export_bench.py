@@ -30,6 +30,10 @@ from typing import Optional, Sequence
 #: ``serve_qps`` / ``serve_p50_ms`` / ``serve_p99_ms`` are the serving-tier
 #: load numbers (64 concurrent clients on an n=100k sharded corpus; the
 #: guards demand ≥500 QPS and p99 ≤ 200 ms).
+#: ``wal_overhead`` is the fractional slowdown write-ahead journaling
+#: (fsync=interval) adds to the dynamic event stream (capped at 0.10);
+#: ``recovery_seconds`` is the wall time to replay a 10⁴-tick journal at
+#: n=10k back to bit-identical state.
 _GUARD_KEYS = (
     "speedup",
     "parity",
@@ -41,6 +45,8 @@ _GUARD_KEYS = (
     "serve_qps",
     "serve_p50_ms",
     "serve_p99_ms",
+    "wal_overhead",
+    "recovery_seconds",
 )
 
 

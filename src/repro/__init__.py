@@ -78,13 +78,24 @@ from repro.dynamic import (
     WeightDecrease,
     WeightIncrease,
 )
+from repro.durability import (
+    DurableStore,
+    SnapshotStore,
+    WriteAheadLog,
+)
 from repro.exceptions import (
+    DurabilityError,
+    DurabilityWarning,
     InvalidParameterError,
     NonFiniteDataError,
     NumericalDegradationWarning,
+    RecoveryError,
     ReproError,
     ReproWarning,
     ServerClosedError,
+    ServerOverloadedError,
+    SnapshotVersionError,
+    WalCorruptionError,
 )
 from repro.functions import (
     CoverageFunction,
@@ -192,6 +203,10 @@ __all__ = [
     "ServerStats",
     "ServeQuery",
     "CorpusSnapshot",
+    # durability
+    "DurableStore",
+    "SnapshotStore",
+    "WriteAheadLog",
     # data
     "SyntheticInstance",
     "make_synthetic_instance",
@@ -212,5 +227,11 @@ __all__ = [
     "NonFiniteDataError",
     "ReproWarning",
     "NumericalDegradationWarning",
+    "DurabilityWarning",
     "ServerClosedError",
+    "ServerOverloadedError",
+    "DurabilityError",
+    "WalCorruptionError",
+    "RecoveryError",
+    "SnapshotVersionError",
 ]

@@ -20,14 +20,64 @@ can be written to disk between sessions.  Emission is pull-free: callers pass
 
 from __future__ import annotations
 
+import hashlib
 import pickle
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro._types import Element
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import InvalidParameterError, SnapshotVersionError
 
-__all__ = ["SolveCheckpoint", "load_checkpoint", "save_checkpoint"]
+__all__ = [
+    "SNAPSHOT_FORMAT_VERSION",
+    "SolveCheckpoint",
+    "check_snapshot_version",
+    "load_checkpoint",
+    "save_checkpoint",
+    "universe_fingerprint",
+]
+
+#: Current on-disk format version stamped on every snapshot/checkpoint type
+#: (:class:`SolveCheckpoint`, :class:`~repro.dynamic.engine.EngineSnapshot`,
+#: :class:`~repro.dynamic.session.SessionSnapshot`,
+#: :class:`~repro.serve.corpus.CorpusSnapshot`).  Bump on any incompatible
+#: field-semantics change; loaders reject anything newer than they know.
+SNAPSHOT_FORMAT_VERSION = 1
+
+
+def universe_fingerprint(*parts: Any) -> str:
+    """A short stable digest identifying the universe a snapshot belongs to.
+
+    Producers stamp it from shape-defining parameters (backend kind, ``p``,
+    λ, shard layout, ...); consumers that are handed both a snapshot and a
+    live instance compare fingerprints and raise
+    :class:`~repro.exceptions.SnapshotVersionError` on mismatch — turning
+    "resumed against the wrong universe" from silent corruption into a
+    first-class error.
+    """
+    digest = hashlib.sha1("|".join(repr(part) for part in parts).encode())
+    return digest.hexdigest()[:16]
+
+
+def check_snapshot_version(snapshot: Any, *, source: str = "snapshot") -> Any:
+    """Reject snapshots from a newer (or mangled) format; return ``snapshot``.
+
+    Objects without a ``format_version`` attribute predate versioning and
+    pass unchanged, which keeps old pickles loadable.
+    """
+    version = getattr(snapshot, "format_version", None)
+    if version is None:
+        return snapshot
+    if not isinstance(version, int) or version < 1:
+        raise SnapshotVersionError(
+            f"{source} carries an invalid format_version {version!r}"
+        )
+    if version > SNAPSHOT_FORMAT_VERSION:
+        raise SnapshotVersionError(
+            f"{source} has format_version {version}; this build reads versions "
+            f"up to {SNAPSHOT_FORMAT_VERSION} — upgrade the library to load it"
+        )
+    return snapshot
 
 
 def save_checkpoint(checkpoint: Any, path: str) -> None:
@@ -55,7 +105,7 @@ def load_checkpoint(path: str, expected_type: type) -> Any:
         raise InvalidParameterError(
             f"{path!r} does not contain a {expected_type.__name__}"
         )
-    return checkpoint
+    return check_snapshot_version(checkpoint, source=repr(path))
 
 
 @dataclass(frozen=True)
@@ -84,6 +134,11 @@ class SolveCheckpoint:
         Wall-clock seconds spent before the checkpoint was cut.
     metadata:
         Free-form extras (phase, algorithm name, ...).
+    format_version:
+        On-disk format version (see :data:`SNAPSHOT_FORMAT_VERSION`).
+    fingerprint:
+        Optional :func:`universe_fingerprint` of the emitting instance;
+        ``None`` on checkpoints from producers that do not stamp one.
     """
 
     kind: str
@@ -94,17 +149,24 @@ class SolveCheckpoint:
     shard_sizes: Tuple[int, ...] = ()
     elapsed_seconds: float = 0.0
     metadata: Dict[str, Any] = field(default_factory=dict)
+    format_version: int = SNAPSHOT_FORMAT_VERSION
+    fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Validation
     # ------------------------------------------------------------------
-    def require(self, kind: str, n: int) -> "SolveCheckpoint":
+    def require(
+        self, kind: str, n: int, *, fingerprint: Optional[str] = None
+    ) -> "SolveCheckpoint":
         """Assert the checkpoint matches the resuming solve; return ``self``.
 
         Raises :class:`~repro.exceptions.InvalidParameterError` on a kind or
-        universe mismatch so a checkpoint cannot silently resume against the
-        wrong instance.
+        universe mismatch (and
+        :class:`~repro.exceptions.SnapshotVersionError` on a version or
+        fingerprint mismatch) so a checkpoint cannot silently resume against
+        the wrong instance.
         """
+        check_snapshot_version(self, source="checkpoint")
         if self.kind != kind:
             raise InvalidParameterError(
                 f"checkpoint kind {self.kind!r} cannot resume a {kind!r} solve"
@@ -113,6 +175,16 @@ class SolveCheckpoint:
             raise InvalidParameterError(
                 f"checkpoint covers a universe of {self.n} elements but the "
                 f"instance has {n}"
+            )
+        if (
+            fingerprint is not None
+            and self.fingerprint is not None
+            and fingerprint != self.fingerprint
+        ):
+            raise SnapshotVersionError(
+                f"checkpoint fingerprint {self.fingerprint} does not match the "
+                f"resuming instance ({fingerprint}); it belongs to a different "
+                f"universe"
             )
         return self
 

@@ -31,7 +31,7 @@ from typing import Callable, Iterable, List, Optional, Set, Union
 
 from repro._types import Element
 from repro.core import kernels
-from repro.core.checkpoint import SolveCheckpoint
+from repro.core.checkpoint import SolveCheckpoint, universe_fingerprint
 from repro.core.objective import Objective
 from repro.core.result import SolverResult, build_result
 from repro.exceptions import InvalidParameterError
@@ -169,9 +169,10 @@ def greedy_diversify(
     iterations = 0
     interrupted = False
 
+    fingerprint = universe_fingerprint("solve", "greedy", n, objective.tradeoff)
     seeded: List[Element] = []
     if resume_from is not None:
-        resume_from.require("greedy", n)
+        resume_from.require("greedy", n, fingerprint=fingerprint)
         seeded = list(resume_from.order)[:p]
     elif start == "best_pair" and p >= 2 and n >= 2:
         if deadline is not None and deadline.expired():
@@ -287,6 +288,7 @@ def greedy_diversify(
                     order=tuple(order),
                     elapsed_seconds=time.perf_counter() - started,
                     metadata={"algorithm": algorithm},
+                    fingerprint=fingerprint,
                 )
             )
 

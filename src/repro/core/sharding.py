@@ -60,7 +60,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 import numpy as np
 
 from repro._types import Element
-from repro.core.checkpoint import SolveCheckpoint
+from repro.core.checkpoint import SolveCheckpoint, universe_fingerprint
 from repro.core.kernels import weights_view_of
 from repro.core.local_search import LocalSearchConfig
 from repro.core.objective import Objective
@@ -383,9 +383,14 @@ def solve_sharded(
         materialize_shards = shard_algorithm not in _LAZY_FRIENDLY_ALGORITHMS
 
     shard_sizes = tuple(int(part.size) for part in parts)
+    # Shard layout is deliberately outside the fingerprint: a layout change
+    # has its own dedicated InvalidParameterError below.
+    fingerprint = universe_fingerprint(
+        "solve", "sharded", objective.n, objective.tradeoff
+    )
     resumed: Dict[int, np.ndarray] = {}
     if resume_from is not None:
-        resume_from.require("sharded", objective.n)
+        resume_from.require("sharded", objective.n, fingerprint=fingerprint)
         if tuple(resume_from.shard_sizes) != shard_sizes:
             raise InvalidParameterError(
                 f"checkpoint shard layout {tuple(resume_from.shard_sizes)} does "
@@ -456,6 +461,7 @@ def solve_sharded(
                     "algorithm": algorithm,
                     "shard_algorithm": shard_algorithm,
                 },
+                fingerprint=fingerprint,
             )
         )
 

@@ -1,0 +1,236 @@
+"""Checksummed append-only write-ahead log.
+
+The journal is a single file: an 8-byte magic followed by length-prefixed
+records.  Each record frame is::
+
+    u32 payload_length | u32 payload_crc32 | u32 header_crc32 | payload
+
+``header_crc32`` covers the first eight header bytes, so a frame whose
+*length field itself* was damaged is detected before the length is trusted;
+``payload_crc32`` covers the payload.  Payloads carry a one-byte record kind
+and a u64 sequence number ahead of the body, giving replay an explicit
+watermark to compare against snapshot generations (compaction truncates the
+log, but a crash between snapshot and truncate leaves already-covered
+records behind — the sequence number is what lets recovery skip them).
+
+Corruption policy, fixed by :func:`read_wal`:
+
+* anything wrong **at the tail** — a partial header, a frame extending past
+  end-of-file, a bad checksum on the *final* record — is the expected
+  residue of a crash mid-append: the tail is dropped (optionally truncated
+  on disk) with a :class:`~repro.exceptions.DurabilityWarning`;
+* anything wrong **before** the tail — a bad checksum with intact records
+  after it — means the journal cannot be trusted and raises
+  :class:`~repro.exceptions.WalCorruptionError`.
+
+Durability is configurable per log: ``fsync="always"`` syncs every append
+(every acknowledged tick survives power loss), ``"interval"`` syncs at most
+once per ``fsync_interval_s`` (bounded loss window, near-zero overhead),
+``"off"`` leaves flushing to the OS (fastest; survives process crash but not
+power loss).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import time
+import warnings
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.exceptions import (
+    DurabilityWarning,
+    InvalidParameterError,
+    WalCorruptionError,
+)
+
+__all__ = [
+    "WAL_MAGIC",
+    "WalRecord",
+    "WriteAheadLog",
+    "read_wal",
+]
+
+WAL_MAGIC = b"RPWAL001"
+
+RECORD_INIT = 0
+RECORD_TICK = 1
+
+_HEADER = struct.Struct("<III")  # payload_length, payload_crc32, header_crc32
+_ENVELOPE = struct.Struct("<BQ")  # record kind, sequence number
+
+_FSYNC_POLICIES = ("always", "interval", "off")
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded journal record: kind, sequence number and opaque body."""
+
+    kind: int
+    seq: int
+    body: bytes
+
+
+def _crc(data: bytes) -> int:
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def _frame(kind: int, seq: int, body: bytes) -> bytes:
+    payload = _ENVELOPE.pack(kind, seq) + body
+    partial = struct.pack("<II", len(payload), _crc(payload))
+    return partial + struct.pack("<I", _crc(partial)) + payload
+
+
+class WriteAheadLog:
+    """Appender for one journal file (see module docstring for the format).
+
+    Creates the file (with its magic) if missing or empty; otherwise opens
+    it for appending at ``append_at`` — callers that recovered the log pass
+    the valid length reported by :func:`read_wal` so a truncated-in-memory
+    tail is physically overwritten by the next append.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        fsync: str = "interval",
+        fsync_interval_s: float = 0.1,
+        append_at: Optional[int] = None,
+    ) -> None:
+        if fsync not in _FSYNC_POLICIES:
+            raise InvalidParameterError(
+                f"fsync must be one of {_FSYNC_POLICIES}, got {fsync!r}"
+            )
+        if fsync_interval_s <= 0:
+            raise InvalidParameterError("fsync_interval_s must be positive")
+        self._path = os.fspath(path)
+        self._fsync = fsync
+        self._fsync_interval_s = float(fsync_interval_s)
+        self._last_sync = time.monotonic()
+        fresh = not os.path.exists(self._path) or os.path.getsize(self._path) == 0
+        if fresh:
+            self._handle = open(self._path, "w+b")
+            self._handle.write(WAL_MAGIC)
+            self._sync_now()
+        else:
+            self._handle = open(self._path, "r+b")
+            magic = self._handle.read(len(WAL_MAGIC))
+            if magic != WAL_MAGIC:
+                raise WalCorruptionError(
+                    f"{self._path} does not start with the write-ahead-log magic"
+                )
+            position = os.path.getsize(self._path) if append_at is None else append_at
+            self._handle.seek(position)
+            self._handle.truncate(position)
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def append(self, kind: int, seq: int, body: bytes) -> None:
+        """Append one record and apply the fsync policy."""
+        self._handle.write(_frame(kind, seq, body))
+        if self._fsync == "always":
+            self._sync_now()
+        elif self._fsync == "interval":
+            self._handle.flush()
+            if time.monotonic() - self._last_sync >= self._fsync_interval_s:
+                self._sync_now()
+        else:
+            self._handle.flush()
+
+    def sync(self) -> None:
+        """Force an fsync regardless of policy (used for init/compaction)."""
+        self._sync_now()
+
+    def reset(self) -> None:
+        """Truncate the log back to its magic header (compaction)."""
+        self._handle.seek(len(WAL_MAGIC))
+        self._handle.truncate(len(WAL_MAGIC))
+        self._sync_now()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+    def _sync_now(self) -> None:
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._last_sync = time.monotonic()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_wal(path: str, *, repair: bool = False) -> Tuple[List[WalRecord], int]:
+    """Read every valid record of a journal, handling torn tails.
+
+    Returns ``(records, valid_length)`` where ``valid_length`` is the byte
+    offset of the first invalid data (== file size for a clean log).  With
+    ``repair=True`` a torn/corrupt tail is also truncated on disk.  See the
+    module docstring for the tail-versus-mid-log corruption policy.
+    """
+    path = os.fspath(path)
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if len(data) == 0:
+        # A crash can beat the very first magic write; an empty journal holds
+        # no records, which is exactly what it would have held anyway.
+        return [], 0
+    if not data.startswith(WAL_MAGIC):
+        raise WalCorruptionError(
+            f"{path} does not start with the write-ahead-log magic"
+        )
+
+    records: List[WalRecord] = []
+    offset = len(WAL_MAGIC)
+    torn: Optional[str] = None
+    while offset < len(data):
+        remaining = len(data) - offset
+        if remaining < _HEADER.size:
+            torn = f"partial record header at offset {offset}"
+            break
+        length, payload_crc, header_crc = _HEADER.unpack_from(data, offset)
+        if _crc(data[offset : offset + 8]) != header_crc:
+            # Appends are strictly sequential, so a damaged header with
+            # intact data *after* it cannot be a torn write.
+            raise WalCorruptionError(
+                f"{path}: record header checksum mismatch at offset {offset}"
+            )
+        end = offset + _HEADER.size + length
+        if end > len(data):
+            torn = f"record at offset {offset} extends past end of file"
+            break
+        payload = data[offset + _HEADER.size : end]
+        if _crc(payload) != payload_crc:
+            if end == len(data):
+                torn = f"final record at offset {offset} fails its checksum"
+                break
+            raise WalCorruptionError(
+                f"{path}: record payload checksum mismatch at offset {offset} "
+                f"with intact records after it (mid-log corruption)"
+            )
+        kind, seq = _ENVELOPE.unpack_from(payload, 0)
+        records.append(WalRecord(kind=kind, seq=seq, body=payload[_ENVELOPE.size :]))
+        offset = end
+
+    if torn is not None:
+        warnings.warn(
+            f"{path}: truncating torn/corrupt tail ({torn}); "
+            f"{len(records)} valid records survive",
+            DurabilityWarning,
+            stacklevel=2,
+        )
+        if repair:
+            with open(path, "r+b") as handle:
+                handle.truncate(offset)
+                handle.flush()
+                os.fsync(handle.fileno())
+    return records, offset

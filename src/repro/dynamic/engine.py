@@ -49,6 +49,11 @@ import numpy as np
 
 from repro._types import Element
 from repro.core import kernels
+from repro.core.checkpoint import (
+    SNAPSHOT_FORMAT_VERSION,
+    check_snapshot_version,
+    universe_fingerprint,
+)
 from repro.core.exact import exact_diversify
 from repro.core.greedy import greedy_diversify
 from repro.core.objective import Objective
@@ -90,7 +95,9 @@ class EngineSnapshot:
     every slot is live, which keeps old pickles loadable).  The perturbation
     history is deliberately not captured: it is diagnostic, bounded, and the
     restored engine starts a fresh one (``applied_perturbations`` records
-    how many events the snapshot had seen).
+    how many events the snapshot had seen).  ``format_version`` and
+    ``fingerprint`` support the durability layer's compatibility checks;
+    both default so pre-versioning pickles still load.
     """
 
     weights: np.ndarray
@@ -101,6 +108,8 @@ class EngineSnapshot:
     validate_metric: bool = False
     applied_perturbations: int = 0
     active: Optional[Tuple[Element, ...]] = None
+    format_version: int = SNAPSHOT_FORMAT_VERSION
+    fingerprint: Optional[str] = None
 
     def save(self, path: str) -> None:
         """Pickle the snapshot to ``path``."""
@@ -787,6 +796,9 @@ class DynamicDiversifier:
             validate_metric=self._validate_metric,
             applied_perturbations=self._applied,
             active=tuple(int(e) for e in self.active_elements()),
+            fingerprint=universe_fingerprint(
+                "dense", self._p, self._tradeoff, self._distances.n
+            ),
         )
 
     @classmethod
@@ -803,6 +815,7 @@ class DynamicDiversifier:
             raise InvalidParameterError(
                 f"restore expects an EngineSnapshot, got {type(snapshot).__name__}"
             )
+        check_snapshot_version(snapshot, source="EngineSnapshot")
         engine = cls(
             snapshot.weights,
             snapshot.distances,

@@ -31,6 +31,7 @@ the current instance.
 
 from __future__ import annotations
 
+import io
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Tuple
 
@@ -44,9 +45,14 @@ from repro.dynamic.perturbation import (
     WeightDecrease,
     WeightIncrease,
 )
-from repro.exceptions import PerturbationError
+from repro.exceptions import PerturbationError, SnapshotVersionError
 
-__all__ = ["EventBatch", "EventBatchBuilder"]
+__all__ = [
+    "EventBatch",
+    "EventBatchBuilder",
+    "decode_event_batch",
+    "encode_event_batch",
+]
 
 
 def _readonly(array: np.ndarray) -> np.ndarray:
@@ -322,3 +328,73 @@ class EventBatchBuilder:
             insert_points=insert_points,
             delete_elements=ints(self._deletes),
         )
+
+
+# ----------------------------------------------------------------------
+# Wire format (write-ahead log records)
+# ----------------------------------------------------------------------
+# Batches are journaled as an ``np.savez`` archive rather than a pickle:
+# the payload is then pure typed arrays, so a corrupt or adversarial log
+# record can at worst fail to parse — it cannot execute code on replay.
+_ENCODING_VERSION = 1
+
+_ARRAY_FIELDS = (
+    "weight_set_elements",
+    "weight_set_values",
+    "weight_delta_elements",
+    "weight_deltas",
+    "distance_set_pairs",
+    "distance_set_values",
+    "distance_delta_pairs",
+    "distance_deltas",
+    "insert_weights",
+    "delete_elements",
+)
+
+
+def encode_event_batch(batch: EventBatch) -> bytes:
+    """Serialize one :class:`EventBatch` into a self-describing byte string.
+
+    The inverse of :func:`decode_event_batch`; round-tripping is exact
+    (dtypes, values and the one-of insert representation all survive), which
+    is what lets the write-ahead log replay a journaled tick bit-identically.
+    """
+    arrays = {name: np.asarray(getattr(batch, name)) for name in _ARRAY_FIELDS}
+    arrays["__meta__"] = np.array(
+        [
+            _ENCODING_VERSION,
+            len(batch.insert_distances),
+            0 if batch.insert_points is None else 1,
+        ],
+        dtype=np.int64,
+    )
+    for index, row in enumerate(batch.insert_distances):
+        arrays[f"__insert_row_{index}__"] = np.asarray(row)
+    if batch.insert_points is not None:
+        arrays["__insert_points__"] = np.asarray(batch.insert_points)
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    return buffer.getvalue()
+
+
+def decode_event_batch(data: bytes) -> EventBatch:
+    """Reconstruct the :class:`EventBatch` serialized by :func:`encode_event_batch`."""
+    with np.load(io.BytesIO(data), allow_pickle=False) as archive:
+        meta = archive["__meta__"]
+        version = int(meta[0])
+        if version != _ENCODING_VERSION:
+            raise SnapshotVersionError(
+                f"event-batch record has encoding version {version}; this build "
+                f"reads version {_ENCODING_VERSION}"
+            )
+        fields = {name: _readonly(archive[name]) for name in _ARRAY_FIELDS}
+        num_rows, has_points = int(meta[1]), bool(meta[2])
+        insert_rows = tuple(
+            _readonly(archive[f"__insert_row_{index}__"]) for index in range(num_rows)
+        )
+        insert_points = _readonly(archive["__insert_points__"]) if has_points else None
+    return EventBatch(
+        insert_distances=insert_rows,
+        insert_points=insert_points,
+        **fields,
+    )

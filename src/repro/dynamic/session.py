@@ -50,6 +50,11 @@ from typing import (
 import numpy as np
 
 from repro._types import Element
+from repro.core.checkpoint import (
+    SNAPSHOT_FORMAT_VERSION,
+    check_snapshot_version,
+    universe_fingerprint,
+)
 from repro.core.greedy import greedy_diversify
 from repro.core.objective import Objective
 from repro.core.sharding import solve_sharded, sub_metric
@@ -81,6 +86,14 @@ class SessionSnapshot:
     restore takes it again), so snapshots can be written to disk or shipped
     across processes like the dense tier's
     :class:`~repro.dynamic.engine.EngineSnapshot`.
+
+    ``winners``/``degraded``/``core_stale`` capture the repair state, which
+    makes :meth:`ShardedDynamicEngine.restore` *faithful*: the restored
+    engine carries exactly the shard winners (stale or not) the live engine
+    carried, so replaying the same event stream from the snapshot yields
+    bit-identical solutions — the contract durable crash recovery depends
+    on.  ``winners=None`` marks a pre-durability snapshot, for which restore
+    falls back to re-solving every shard.
     """
 
     points: np.ndarray
@@ -93,6 +106,11 @@ class SessionSnapshot:
     per_shard_p: int
     overrides: Tuple[Tuple[int, int, float], ...] = ()
     ticks: int = 0
+    winners: Optional[Tuple[Tuple[int, Tuple[Element, ...]], ...]] = None
+    degraded: bool = False
+    core_stale: bool = False
+    format_version: int = SNAPSHOT_FORMAT_VERSION
+    fingerprint: Optional[str] = None
 
     def save(self, path: str) -> None:
         """Pickle the snapshot to ``path``."""
@@ -576,6 +594,20 @@ class ShardedDynamicEngine:
                 (u, v, value) for (u, v), value in sorted(self._overrides.items())
             ),
             ticks=ticks,
+            winners=tuple(
+                (int(shard), tuple(int(e) for e in winners))
+                for shard, winners in sorted(self._winners.items())
+            ),
+            degraded=self._degraded,
+            core_stale=self._core_stale,
+            fingerprint=universe_fingerprint(
+                "sharded",
+                self._p,
+                self._tradeoff,
+                self._points.shape[1],
+                self._shard_size,
+                self._per_shard_p,
+            ),
         )
 
     @classmethod
@@ -585,6 +617,7 @@ class ShardedDynamicEngine:
         *,
         metric_factory: Optional[Callable[[np.ndarray], Metric]] = None,
     ) -> "ShardedDynamicEngine":
+        check_snapshot_version(snapshot, source="SessionSnapshot")
         engine = cls.__new__(cls)
         slots = snapshot.points.shape[0]
         engine._slots = slots
@@ -605,13 +638,26 @@ class ShardedDynamicEngine:
             (int(u), int(v)): float(value) for u, v, value in snapshot.overrides
         }
         engine._base_metric = None
-        engine._winners = {}
         engine._solution = set(int(e) for e in snapshot.solution)
         engine._failures = []
-        engine._degraded = False
-        engine._core_stale = True
         engine._ticks = int(snapshot.ticks)
-        engine._repair(set(range(engine.num_shards)), touched_members=False)
+        if snapshot.winners is not None:
+            # Faithful restore: adopt the captured repair state verbatim —
+            # including stale winners of degraded shards — so the restored
+            # engine is indistinguishable from the one that was snapshotted.
+            engine._winners = {
+                int(shard): np.asarray(winners, dtype=int)
+                for shard, winners in snapshot.winners
+            }
+            engine._degraded = bool(snapshot.degraded)
+            engine._core_stale = bool(snapshot.core_stale)
+        else:
+            # Pre-durability snapshot: repair state was not captured, so
+            # rebuild it with a full shard re-solve (may heal degradation).
+            engine._winners = {}
+            engine._degraded = False
+            engine._core_stale = True
+            engine._repair(set(range(engine.num_shards)), touched_members=False)
         return engine
 
 
@@ -647,6 +693,16 @@ class DynamicSession:
         ``resolve_kwargs``, e.g. ``{"executor": "process", "max_workers": 2,
         "shard_timeout_s": 5.0}``) and adopt the result when it is at least
         as good — bounding incremental drift even under shard failures.
+    durable_dir, fsync, snapshot_every, keep_snapshots:
+        Crash durability (:mod:`repro.durability`).  With ``durable_dir``
+        every tick is journaled to a checksummed write-ahead log *before*
+        it mutates the engine, so a crash at any point replays to the exact
+        pre-crash state via :meth:`recover`.  ``fsync`` picks the loss
+        window (``"always"`` / ``"interval"`` / ``"off"``);
+        ``snapshot_every`` compacts the log every N ticks into an atomic
+        snapshot generation (``keep_snapshots`` retained).  The directory
+        must be fresh — recovering an existing journal is :meth:`recover`'s
+        job, not the constructor's.
     """
 
     def __init__(
@@ -669,6 +725,10 @@ class DynamicSession:
         ] = None,
         resolve_every: Optional[int] = None,
         resolve_kwargs: Optional[dict] = None,
+        durable_dir: Optional[str] = None,
+        fsync: str = "interval",
+        snapshot_every: Optional[int] = None,
+        keep_snapshots: int = 2,
     ) -> None:
         if (distances is None) == (points is None):
             raise InvalidParameterError(
@@ -680,11 +740,17 @@ class DynamicSession:
             checkpoint_every = 1
         if resolve_every is not None and resolve_every < 1:
             raise InvalidParameterError("resolve_every must be at least 1")
+        if snapshot_every is not None and durable_dir is None:
+            raise InvalidParameterError(
+                "snapshot_every is the durable compaction cadence; it needs "
+                "durable_dir"
+            )
         self._checkpoint_every = checkpoint_every
         self._on_checkpoint = on_checkpoint
         self._resolve_every = resolve_every
         self._resolve_kwargs = dict(resolve_kwargs or {})
         self._ticks = 0
+        self._durable = None
         self._dense: Optional[DynamicDiversifier] = None
         self._sharded: Optional[ShardedDynamicEngine] = None
         if distances is not None:
@@ -711,6 +777,17 @@ class DynamicSession:
                 per_shard_p=per_shard_p,
                 metric_factory=metric_factory,
             )
+        if durable_dir is not None:
+            from repro.durability.recovery import DurableStore
+
+            store = DurableStore(
+                durable_dir,
+                fsync=fsync,
+                snapshot_every=snapshot_every,
+                keep_snapshots=keep_snapshots,
+            )
+            store.start_fresh(self)
+            self._durable = store
 
     # ------------------------------------------------------------------
     # Introspection
@@ -729,6 +806,12 @@ class DynamicSession:
     def ticks(self) -> int:
         """Number of event batches applied through this session."""
         return self._ticks
+
+    @property
+    def durable(self):
+        """The attached :class:`~repro.durability.recovery.DurableStore`
+        (``None`` when the session is not durable)."""
+        return self._durable
 
     @property
     def n(self) -> int:
@@ -778,7 +861,16 @@ class DynamicSession:
     # ------------------------------------------------------------------
     def apply_events(self, batch: EventBatch, **kwargs) -> UpdateOutcome:
         """Apply one tick through the backend, then run the session cadence:
-        periodic full re-solve (sharded) and periodic checkpoints."""
+        periodic full re-solve (sharded) and periodic checkpoints.
+
+        With durability enabled the tick is journaled *before* any mutation
+        (journal-before-apply): a crash between journal and apply replays
+        the tick on recovery, reaching the same state the surviving process
+        would have reached — invalid ticks included, since the backends
+        reject those deterministically both live and on replay.
+        """
+        if self._durable is not None:
+            self._durable.journal(batch, kwargs)
         if self._dense is not None:
             outcome = self._dense.apply_events(batch, **kwargs)
         else:
@@ -795,12 +887,18 @@ class DynamicSession:
             and self._ticks % self._checkpoint_every == 0
         ):
             self._on_checkpoint(self.snapshot())
+        if self._durable is not None:
+            self._durable.maybe_compact(self)
         return outcome
 
     def apply(self, perturbation: Perturbation, **kwargs) -> UpdateOutcome:
         """Apply a single Section 6 perturbation (dense semantics when dense;
         routed through a one-event batch on the sharded backend)."""
         if self._dense is not None:
+            if self._durable is not None:
+                self._durable.journal(
+                    EventBatch.from_perturbations([perturbation]), kwargs
+                )
             outcome = self._dense.apply(perturbation, **kwargs)
             self._ticks += 1
             if (
@@ -808,8 +906,12 @@ class DynamicSession:
                 and self._ticks % self._checkpoint_every == 0
             ):
                 self._on_checkpoint(self.snapshot())
+            if self._durable is not None:
+                self._durable.maybe_compact(self)
             return outcome
-        return self.apply_events(EventBatch.from_perturbations([perturbation]))
+        return self.apply_events(
+            EventBatch.from_perturbations([perturbation]), **kwargs
+        )
 
     def resolve_full(self, **solve_kwargs):
         """Sharded mode: full re-solve (see
@@ -864,6 +966,7 @@ class DynamicSession:
             raise InvalidParameterError(
                 f"unknown restore options: {sorted(session_kwargs)}"
             )
+        session._durable = None
         session._dense = None
         session._sharded = None
         if isinstance(snapshot, EngineSnapshot):
@@ -880,3 +983,45 @@ class DynamicSession:
                 f"got {type(snapshot).__name__}"
             )
         return session
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(
+        cls,
+        durable_dir: str,
+        *,
+        metric_factory: Optional[Callable[[np.ndarray], Metric]] = None,
+        **options,
+    ) -> "DynamicSession":
+        """Recover a durable session from its directory after a crash.
+
+        Loads the newest valid snapshot generation (or the journal's initial
+        state), replays the write-ahead-log tail through the normal apply
+        path, repairs any torn trailing record, and re-attaches the journal
+        so the recovered session keeps journaling where the dead one
+        stopped.  The result is bit-identical to the state the crashed
+        process had reached at its last journaled tick boundary.
+
+        Session configuration (``resolve_every``, ``fsync``,
+        ``snapshot_every``, ...) defaults to what the dead session journaled;
+        keyword ``options`` override it.
+        """
+        from repro.durability.recovery import recover_session
+
+        return recover_session(
+            cls, durable_dir, metric_factory=metric_factory, **options
+        )
+
+    def close(self) -> None:
+        """Flush and detach the durable journal (no-op when not durable)."""
+        if self._durable is not None:
+            self._durable.close()
+            self._durable = None
+
+    def __enter__(self) -> "DynamicSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

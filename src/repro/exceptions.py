@@ -96,3 +96,59 @@ class ServerClosedError(ReproError):
     running, and set on the futures of requests still queued or in flight
     when :meth:`repro.serve.Server.stop` shuts the batcher down.
     """
+
+
+class ServerOverloadedError(ReproError):
+    """A serving request was shed because the server's queue is full.
+
+    Raised by :meth:`repro.serve.Server.submit` when ``max_pending`` is set
+    and that many requests are already waiting: the submit fails *fast*
+    instead of queueing unboundedly, so overload surfaces as immediate
+    back-pressure rather than as unbounded memory growth and blown
+    deadlines.  Shed requests are counted in
+    :attr:`repro.serve.ServerStats.shed`.
+    """
+
+
+class DurabilityError(ReproError):
+    """Base class for write-ahead-log / snapshot / recovery failures."""
+
+
+class WalCorruptionError(DurabilityError):
+    """A write-ahead log is corrupt *before* its final record.
+
+    Torn or corrupt **trailing** records are expected after a crash and are
+    truncated with a :class:`DurabilityWarning`; corruption in the middle of
+    the log (a flipped byte, an invalid frame header with intact data after
+    it) means the journal cannot be trusted and recovery refuses to guess.
+    """
+
+
+class RecoveryError(DurabilityError):
+    """A durable directory cannot be recovered (or re-initialised) from.
+
+    Raised when recovery finds nothing to restore (no valid snapshot and no
+    journal base state), or when a fresh durable session is pointed at a
+    directory that already holds a journal (use
+    :meth:`repro.dynamic.DynamicSession.recover` instead of clobbering it).
+    """
+
+
+class SnapshotVersionError(DurabilityError):
+    """A persisted snapshot/checkpoint is incompatible with this build.
+
+    Raised on a ``format_version`` outside the supported range or a universe
+    ``fingerprint`` mismatch (a snapshot fed to a journal, checkpoint resume
+    or recovery path that belongs to a *different* instance), instead of the
+    opaque pickle/attribute error the mismatch would otherwise decay into.
+    """
+
+
+class DurabilityWarning(ReproWarning):
+    """A durability layer degraded recoverably.
+
+    Emitted when recovery truncates a torn or corrupt trailing write-ahead-log
+    record (the expected residue of a crash mid-append) or skips a corrupt
+    snapshot generation in favour of an older valid one.  Recovery still
+    completes; the warning records that the tail of the journal was lost.
+    """

@@ -48,6 +48,11 @@ QUICK_OVERRIDES: Dict[str, dict] = {
         "queries_per_client": 3,
         "pool_size": 64,
         "p": 5,
+        # Exercise the robustness knobs in the quick run: an admission bound
+        # tight enough to shed under 4 concurrent clients, and the durable
+        # corpus-snapshot round-trip in front of the server.
+        "max_pending": 2,
+        "durable_snapshot": True,
     },
 }
 

@@ -14,10 +14,12 @@ Run it via ``python -m repro.experiments serve [--quick]``.
 from __future__ import annotations
 
 import asyncio
+import os
+import tempfile
 from typing import Optional
 
 from repro.data.synthetic import make_feature_instance
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import InvalidParameterError, ServerOverloadedError
 from repro.experiments.tables import TableResult
 from repro.serve.corpus import PreparedCorpus
 from repro.serve.server import Server
@@ -37,7 +39,15 @@ async def _drive_load(
     async def client(client_pools) -> int:
         done = 0
         for pool in client_pools:
-            await server.submit(pool, p=p, deadline_s=deadline_s)
+            while True:
+                try:
+                    await server.submit(pool, p=p, deadline_s=deadline_s)
+                except ServerOverloadedError:
+                    # Shed by the admission bound: back off and retry, the
+                    # way a production client would.
+                    await asyncio.sleep(0.002)
+                    continue
+                break
             done += 1
         return done
 
@@ -59,6 +69,8 @@ def serve(
     max_wait_s: float = 0.002,
     deadline_s: Optional[float] = None,
     shard_size: Optional[int] = None,
+    max_pending: Optional[int] = None,
+    durable_snapshot: bool = False,
     seed: SeedLike = 0,
 ) -> TableResult:
     """Benchmark the serving tier under concurrent client load.
@@ -82,6 +94,17 @@ def serve(
     shard_size:
         When given, the corpus shards full-universe queries; pool queries are
         unaffected.
+    max_pending:
+        Optional admission bound: requests beyond this many pending are shed
+        with :class:`~repro.exceptions.ServerOverloadedError` instead of
+        queueing without bound (the experiment retries sheds after a short
+        backoff, so the table also shows how much load the bound rejected).
+    durable_snapshot:
+        Serve from a recovered corpus instead of the freshly prepared one:
+        round-trip the corpus through a checksummed durable snapshot
+        (``PreparedCorpus.save(durable=True)`` → ``PreparedCorpus.load``)
+        before the server starts — the handoff a serving process restarting
+        after a crash performs.
     seed:
         Load-generator seed.
     """
@@ -96,6 +119,16 @@ def serve(
         tradeoff=instance.tradeoff,
         shard_size=shard_size,
     )
+    if durable_snapshot:
+        # Crash-restart handoff: persist a checksummed framed snapshot and
+        # serve from the recovered corpus, not the in-memory original.
+        handle, path = tempfile.mkstemp(suffix=".snap", prefix="repro-corpus-")
+        os.close(handle)
+        try:
+            corpus.save(path, durable=True)
+            corpus = PreparedCorpus.load(path)
+        finally:
+            os.unlink(path)
     rng = make_rng(seed)
     shared = [
         rng.choice(n, size=pool_size, replace=False).tolist()
@@ -115,7 +148,10 @@ def serve(
 
     async def run() -> dict:
         async with Server(
-            corpus, max_batch_size=max_batch_size, max_wait_s=max_wait_s
+            corpus,
+            max_batch_size=max_batch_size,
+            max_wait_s=max_wait_s,
+            max_pending=max_pending,
         ) as server:
             completed = await _drive_load(
                 server,
@@ -141,6 +177,7 @@ def serve(
         ),
         headers=[
             "Queries",
+            "Shed",
             "Windows",
             "Mean window",
             "QPS",
@@ -152,6 +189,7 @@ def serve(
     result.records.append(
         {
             "Queries": int(stats["completed"]),
+            "Shed": int(stats["shed"]),
             "Windows": int(stats["windows"]),
             "Mean window": round(stats["mean_window_size"], 2),
             "QPS": round(stats["qps"], 1),

@@ -31,6 +31,7 @@ full-universe queries on sharded corpora to
 
 from __future__ import annotations
 
+import pickle
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -41,7 +42,13 @@ import numpy as np
 from repro._types import Element
 from repro.core import kernels
 from repro.core.batch import WindowQuery, solve_window
-from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.checkpoint import (
+    SNAPSHOT_FORMAT_VERSION,
+    check_snapshot_version,
+    load_checkpoint,
+    save_checkpoint,
+    universe_fingerprint,
+)
 from repro.core.local_search import LocalSearchConfig
 from repro.core.objective import Objective
 from repro.core.restriction import Restriction
@@ -100,21 +107,57 @@ class CorpusSnapshot:
     matrix when the corpus materialized one) plus the configuration, so a
     restarted serving process rebuilds its corpus warm — no re-derivation, no
     re-materialization — via :meth:`PreparedCorpus.restore`.
+
+    ``format_version`` and ``fingerprint`` guard restores the same way the
+    solver and dynamic snapshots are guarded: a snapshot from a newer format
+    or a different corpus raises
+    :class:`~repro.exceptions.SnapshotVersionError` instead of rebuilding
+    silently-wrong state.
     """
 
     quality: SetFunction
     metric: Metric
     tradeoff: float
     config: Dict[str, Any] = field(default_factory=dict)
+    format_version: int = SNAPSHOT_FORMAT_VERSION
+    fingerprint: Optional[str] = None
 
-    def save(self, path: str) -> None:
-        """Pickle the snapshot to ``path``."""
-        save_checkpoint(self, path)
+    def save(self, path: str, *, durable: bool = False) -> None:
+        """Pickle the snapshot to ``path``.
+
+        With ``durable=True`` the file is written atomically (temp file +
+        fsync + rename) inside a checksummed frame, so a crash mid-save
+        leaves the previous snapshot intact and later bit rot is detected on
+        load rather than unpickled into garbage.
+        """
+        if durable:
+            from repro.durability.snapshot import write_framed
+
+            write_framed(path, pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL))
+        else:
+            save_checkpoint(self, path)
 
     @staticmethod
     def load(path: str) -> "CorpusSnapshot":
-        """Load a snapshot previously written by :meth:`save`."""
-        return load_checkpoint(path, CorpusSnapshot)
+        """Load a snapshot previously written by :meth:`save`.
+
+        Detects the durable framed format by its magic prefix, so both plain
+        and ``durable=True`` snapshots load transparently.
+        """
+        with open(path, "rb") as handle:
+            prefix = handle.read(8)
+        from repro.durability.snapshot import is_framed_snapshot, read_framed
+
+        if is_framed_snapshot(prefix):
+            snapshot = pickle.loads(read_framed(path))
+            if not isinstance(snapshot, CorpusSnapshot):
+                raise InvalidParameterError(
+                    f"{path!r} holds a {type(snapshot).__name__}, "
+                    "not a CorpusSnapshot"
+                )
+        else:
+            snapshot = load_checkpoint(path, CorpusSnapshot)
+        return check_snapshot_version(snapshot, source=repr(path))
 
 
 class PreparedCorpus:
@@ -474,17 +517,25 @@ class PreparedCorpus:
         }
 
     def snapshot(self) -> CorpusSnapshot:
-        """A pickle-safe snapshot of the prepared state (see :class:`CorpusSnapshot`)."""
+        """A pickle-safe snapshot of the prepared state
+        (see :class:`CorpusSnapshot`)."""
         return CorpusSnapshot(
             quality=self._quality,
             metric=self._metric,
             tradeoff=self.tradeoff,
             config=self._config(),
+            fingerprint=universe_fingerprint(
+                "corpus", self.n, self.tradeoff, self._quality.is_modular
+            ),
         )
 
-    def save(self, path: str) -> None:
-        """Snapshot the corpus and pickle it to ``path``."""
-        self.snapshot().save(path)
+    def save(self, path: str, *, durable: bool = False) -> None:
+        """Snapshot the corpus and pickle it to ``path``.
+
+        ``durable=True`` writes atomically inside a checksummed frame (see
+        :meth:`CorpusSnapshot.save`).
+        """
+        self.snapshot().save(path, durable=durable)
 
     @classmethod
     def restore(cls, snapshot: CorpusSnapshot) -> "PreparedCorpus":
@@ -494,6 +545,7 @@ class PreparedCorpus:
         corpus materialized one, so recovery skips the O(n²) preparation the
         first boot paid.
         """
+        check_snapshot_version(snapshot, source="CorpusSnapshot")
         return cls(
             snapshot.quality,
             snapshot.metric,

@@ -37,7 +37,11 @@ import numpy as np
 from repro._types import Element
 from repro.core.local_search import LocalSearchConfig
 from repro.core.result import SolverResult
-from repro.exceptions import InvalidParameterError, ServerClosedError
+from repro.exceptions import (
+    InvalidParameterError,
+    ServerClosedError,
+    ServerOverloadedError,
+)
 from repro.matroids.base import Matroid
 from repro.serve.corpus import PreparedCorpus, ServeQuery
 from repro.utils.deadline import Deadline
@@ -62,6 +66,7 @@ class ServerStats:
     completed: int = 0
     cancelled: int = 0
     failed: int = 0
+    shed: int = 0
     windows: int = 0
     batched_requests: int = 0
     started_at: Optional[float] = None
@@ -87,6 +92,7 @@ class ServerStats:
             "completed": self.completed,
             "cancelled": self.cancelled,
             "failed": self.failed,
+            "shed": self.shed,
             "windows": self.windows,
             "mean_window_size": (
                 self.batched_requests / self.windows if self.windows else 0.0
@@ -138,6 +144,14 @@ class Server:
     window_deadline_s:
         Optional budget shared by each whole window, combined per query with
         the per-request deadline (the earlier clock wins).
+    max_pending:
+        Optional bound on queued (not yet windowed) requests.  When the
+        queue is full, ``submit`` fails fast with
+        :class:`~repro.exceptions.ServerOverloadedError` instead of
+        queueing unboundedly — load shedding at admission keeps queue wait
+        (which spends each request's deadline budget) bounded under
+        overload.  Sheds are counted in ``ServerStats.shed``.  Default:
+        unbounded, the historical behavior.
     executor:
         Optional :class:`~concurrent.futures.ThreadPoolExecutor` to run
         windows on.  Default: one owned single-thread executor — windows
@@ -156,17 +170,21 @@ class Server:
         max_wait_s: float = 0.002,
         default_deadline_s: Optional[float] = None,
         window_deadline_s: Optional[float] = None,
+        max_pending: Optional[int] = None,
         executor: Optional[ThreadPoolExecutor] = None,
     ) -> None:
         if max_batch_size < 1:
             raise InvalidParameterError("max_batch_size must be at least 1")
         if max_wait_s < 0:
             raise InvalidParameterError("max_wait_s must be non-negative")
+        if max_pending is not None and max_pending < 1:
+            raise InvalidParameterError("max_pending must be at least 1 (or None)")
         self._corpus = corpus
         self._max_batch_size = int(max_batch_size)
         self._max_wait_s = float(max_wait_s)
         self._default_deadline_s = default_deadline_s
         self._window_deadline_s = window_deadline_s
+        self._max_pending = None if max_pending is None else int(max_pending)
         self._executor = executor
         self._own_executor = executor is None
         self._queue: Optional["asyncio.Queue[_Request]"] = None
@@ -197,23 +215,35 @@ class Server:
                 max_workers=1, thread_name_prefix="repro-serve"
             )
             self._own_executor = True
-        self._queue = asyncio.Queue()
+        self._queue = asyncio.Queue(maxsize=self._max_pending or 0)
         self._running = True
         self.stats.started_at = time.monotonic()
         self._batcher = asyncio.create_task(self._run(), name="repro-serve-batcher")
         return self
 
-    async def stop(self) -> None:
+    async def stop(self, *, drain: bool = False) -> None:
         """Stop the batcher; queued and in-flight requests fail closed.
 
         Every request whose future is still pending gets
         :class:`~repro.exceptions.ServerClosedError` — a stranded client
         sees a clean failure, never a hang.
+
+        With ``drain=True`` the server first stops admitting new requests,
+        then lets the batcher finish every queued and in-flight request
+        before tearing down — a graceful shutdown for rolling restarts.
+        Only requests submitted *after* ``stop`` was called fail closed.
         """
         if not self._running:
             return
         self._running = False
         assert self._batcher is not None and self._queue is not None
+        if drain:
+            # Admission is already closed (_running is False).  The batcher
+            # pops a request and exposes it via _inflight in the same event
+            # loop step, so "queue empty and nothing in flight" really means
+            # every accepted request has been delivered.
+            while not self._queue.empty() or self._inflight:
+                await asyncio.sleep(0.001)
         self._batcher.cancel()
         try:
             await self._batcher
@@ -262,6 +292,10 @@ class Server:
         the awaiting task withdraws the request: if its window has not solved
         it yet it never runs, and its result is discarded otherwise — either
         way co-batched requests are unaffected.
+
+        Raises :class:`~repro.exceptions.ServerOverloadedError` without
+        queueing when the server was built with ``max_pending`` and that many
+        requests are already waiting for a window seat.
         """
         if not self._running or self._queue is None:
             raise ServerClosedError("server is not running; call start() first")
@@ -281,7 +315,18 @@ class Server:
             asyncio.get_running_loop().create_future(),
         )
         self.stats.submitted += 1
-        await self._queue.put(request)
+        try:
+            # put_nowait keeps admission atomic on the event loop: a bounded
+            # queue either seats the request immediately or sheds it — a
+            # blocked put() would let overload stack up as suspended submits,
+            # defeating the bound.
+            self._queue.put_nowait(request)
+        except asyncio.QueueFull:
+            self.stats.shed += 1
+            raise ServerOverloadedError(
+                f"server is overloaded: {self._max_pending} requests already "
+                "pending (max_pending); retry later or raise the bound"
+            ) from None
         try:
             result = await request.future
         except asyncio.CancelledError:

@@ -7,7 +7,11 @@ from repro.testing.faults import (
     FaultySetFunction,
     NaNMetric,
     NaNSetFunction,
+    SimulatedCrash,
     SlowMetric,
     WorkerKillingMetric,
+    crash_after_snapshot,
+    flip_byte,
     kill_current_process,
+    tear_wal_tail,
 )

@@ -29,6 +29,18 @@ Wrappers propagate themselves through :meth:`~repro.metrics.base.Metric.restrict
 and :meth:`~repro.metrics.base.Metric.restrict`, so a fault planted on a
 corpus metric survives the sharding pipeline's sub-metric construction into
 the workers.
+
+The durability layer gets its own crash-injection helpers, operating on the
+*files* a :class:`~repro.durability.recovery.DurableStore` writes rather
+than on oracles:
+
+* :func:`tear_wal_tail` — drop the last bytes of a write-ahead log, the
+  shape of a crash mid-append (torn final record → repaired on recovery);
+* :func:`flip_byte` — corrupt one byte in place, the shape of bit rot or a
+  misdirected write (mid-log damage → ``WalCorruptionError``);
+* :class:`SimulatedCrash` / :func:`crash_after_snapshot` — abort compaction
+  in the window *between* writing the new snapshot and truncating the log,
+  the classic double-state crash recovery must treat idempotently.
 """
 
 from __future__ import annotations
@@ -53,7 +65,11 @@ __all__ = [
     "FaultySetFunction",
     "CrashingSetFunction",
     "NaNSetFunction",
+    "SimulatedCrash",
+    "crash_after_snapshot",
+    "flip_byte",
     "kill_current_process",
+    "tear_wal_tail",
 ]
 
 
@@ -339,3 +355,68 @@ class NaNSetFunction(FaultySetFunction):
         if self._switch.should_fire():
             out = np.full_like(out, np.nan)
         return out
+
+
+# ----------------------------------------------------------------------
+# Durability crash injection
+# ----------------------------------------------------------------------
+class SimulatedCrash(BaseException):
+    """Raised by :func:`crash_after_snapshot` to abort a compaction mid-way.
+
+    Deliberately a ``BaseException``: the injected crash must not be
+    swallowed by ordinary ``except Exception`` recovery code on its way out —
+    a real ``SIGKILL`` would not be.
+    """
+
+
+def tear_wal_tail(path: str, nbytes: int = 1) -> int:
+    """Truncate the last ``nbytes`` bytes off a file, as a crash mid-write would.
+
+    The canonical torn-tail fault: an append that made it only partially to
+    disk before power loss.  Recovery must repair this (drop the final
+    record with a :class:`~repro.exceptions.DurabilityWarning`), never fail
+    on it.  Returns the new file size.
+    """
+    size = os.path.getsize(path)
+    new_size = max(0, size - int(nbytes))
+    with open(path, "r+b") as handle:
+        handle.truncate(new_size)
+    return new_size
+
+
+def flip_byte(path: str, offset: int) -> None:
+    """XOR-flip one byte of a file in place (negative offsets count from EOF).
+
+    The shape of bit rot or a misdirected write: the file length is intact
+    but one payload byte lies.  Mid-log, this must surface as
+    :class:`~repro.exceptions.WalCorruptionError` — it cannot be explained
+    as a torn append, so silently dropping data behind it would lose
+    acknowledged writes.
+    """
+    size = os.path.getsize(path)
+    if offset < 0:
+        offset += size
+    if not 0 <= offset < size:
+        raise ValueError(f"offset {offset} outside file of {size} bytes")
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)
+        handle.seek(offset)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+
+
+def crash_after_snapshot(store: "DurableStore") -> None:
+    """Arm ``store`` to raise :class:`SimulatedCrash` during its next compaction.
+
+    The crash fires *after* the compaction checkpoint has landed on disk but
+    *before* the journal truncates — the double-state window where both a
+    fresh snapshot and the full log exist.  Recovery must prefer the
+    snapshot and skip the already-compacted journal prefix; replaying it
+    would double-apply every tick.  The hook disarms itself after firing.
+    """
+
+    def hook() -> None:
+        store.post_snapshot_hook = None
+        raise SimulatedCrash("injected crash between snapshot and log truncation")
+
+    store.post_snapshot_hook = hook

@@ -471,3 +471,94 @@ class TestServer:
 
         result = asyncio.run(scenario())
         assert len(result.selected) == 3
+
+
+class TestOverloadProtection:
+    def test_max_pending_validated(self, corpus):
+        with pytest.raises(InvalidParameterError):
+            Server(corpus, max_pending=0)
+
+    def test_overload_sheds_fast_and_counts(self, corpus, pools):
+        from repro.exceptions import ServerOverloadedError
+
+        async def scenario():
+            async with Server(
+                corpus, max_pending=2, max_wait_s=0.05, max_batch_size=4
+            ) as server:
+                # enqueue without yielding: the batcher cannot drain between
+                # these submits, so the bound must shed the excess
+                tasks = [
+                    asyncio.ensure_future(server.submit(pools[0], p=3))
+                    for _ in range(6)
+                ]
+                outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+                return outcomes, server.stats.snapshot()
+
+        outcomes, stats = asyncio.run(scenario())
+        shed = [o for o in outcomes if isinstance(o, ServerOverloadedError)]
+        served = [o for o in outcomes if not isinstance(o, Exception)]
+        assert shed and served  # some rejected, some served
+        assert stats["shed"] == len(shed)
+        assert stats["completed"] == len(served)
+        assert stats["submitted"] == 6
+
+    def test_unbounded_by_default(self, corpus, pools):
+        async def scenario():
+            async with Server(corpus, max_batch_size=4) as server:
+                tasks = [
+                    asyncio.ensure_future(server.submit(pools[0], p=3))
+                    for _ in range(20)
+                ]
+                return await asyncio.gather(*tasks)
+
+        results = asyncio.run(scenario())
+        assert len(results) == 20
+
+
+class TestGracefulDrain:
+    def test_drain_finishes_queued_requests(self, corpus, pools):
+        async def scenario():
+            server = Server(corpus, max_wait_s=0.2, max_batch_size=8)
+            await server.start()
+            tasks = [
+                asyncio.ensure_future(server.submit(pools[i % len(pools)], p=3))
+                for i in range(5)
+            ]
+            await asyncio.sleep(0)  # let submits reach the queue
+            await server.stop(drain=True)
+            outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+            return outcomes, server.stats.snapshot(), server.running
+
+        outcomes, stats, running = asyncio.run(scenario())
+        assert not running
+        assert all(not isinstance(o, Exception) for o in outcomes)
+        assert stats["completed"] == 5
+
+    def test_drain_rejects_new_submits(self, corpus, pools):
+        async def scenario():
+            server = Server(corpus, max_wait_s=0.2)
+            await server.start()
+            task = asyncio.ensure_future(server.submit(pools[0], p=3))
+            await asyncio.sleep(0)
+            stop = asyncio.ensure_future(server.stop(drain=True))
+            await asyncio.sleep(0)
+            with pytest.raises(ServerClosedError):
+                await server.submit(pools[1], p=3)
+            await stop
+            return await task
+
+        result = asyncio.run(scenario())
+        assert len(result.selected) == 3
+
+    def test_default_stop_still_fails_closed(self, corpus, pools):
+        async def scenario():
+            server = Server(corpus, max_wait_s=5.0, max_batch_size=64)
+            await server.start()
+            # a lingering window: one request sits waiting for co-batchers
+            task = asyncio.ensure_future(server.submit(pools[0], p=3))
+            await asyncio.sleep(0.02)
+            await server.stop()
+            with pytest.raises(ServerClosedError):
+                await task
+
+        asyncio.run(scenario())

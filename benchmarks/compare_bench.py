@@ -46,6 +46,8 @@ LOWER_IS_BETTER = frozenset(
         "serve_p99_ms",
         "wal_overhead",
         "recovery_seconds",
+        "obs_overhead",
+        "obs_overhead_disabled",
     }
 )
 
@@ -61,6 +63,8 @@ ABSOLUTE_SLACK: Dict[str, float] = {
     "serve_p99_ms": 50.0,
     "wal_overhead": 0.05,
     "recovery_seconds": 5.0,
+    "obs_overhead": 0.05,
+    "obs_overhead_disabled": 0.01,
 }
 
 DEFAULT_THRESHOLD = 0.30

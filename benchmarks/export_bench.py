@@ -34,6 +34,10 @@ from typing import Optional, Sequence
 #: (fsync=interval) adds to the dynamic event stream (capped at 0.10);
 #: ``recovery_seconds`` is the wall time to replay a 10⁴-tick journal at
 #: n=10k back to bit-identical state.
+#: ``obs_overhead`` is the fractional slowdown span tracing adds to the
+#: n=100k sharded solve when *enabled* (capped at 0.05);
+#: ``obs_overhead_disabled`` is the estimated fraction the no-op
+#: instrumentation path costs when tracing is off (capped at 0.01).
 _GUARD_KEYS = (
     "speedup",
     "parity",
@@ -47,6 +51,8 @@ _GUARD_KEYS = (
     "serve_p99_ms",
     "wal_overhead",
     "recovery_seconds",
+    "obs_overhead",
+    "obs_overhead_disabled",
 )
 
 
@@ -54,6 +60,7 @@ def distill(report: dict, *, sha: Optional[str] = None) -> dict:
     """Reduce a pytest-benchmark report to the per-commit artifact payload."""
     benchmarks = []
     guards = {}
+    obs = {}
     for bench in report.get("benchmarks", []):
         stats = bench.get("stats", {})
         extra = bench.get("extra_info", {})
@@ -70,12 +77,17 @@ def distill(report: dict, *, sha: Optional[str] = None) -> dict:
         for key in _GUARD_KEYS:
             if key in extra:
                 guards[f"{name}.{key}"] = extra[key]
+        # Span-derived phase breakdowns (seconds per phase) surface in their
+        # own section so the trajectory can chart where solve time goes.
+        if isinstance(extra.get("obs"), dict):
+            obs[name] = extra["obs"]
     return {
         "sha": sha,
         "machine": report.get("machine_info", {}).get("node"),
         "python": report.get("machine_info", {}).get("python_version"),
         "datetime": report.get("datetime"),
         "guards": guards,
+        "obs": obs,
         "benchmarks": benchmarks,
     }
 

@@ -60,6 +60,7 @@ def test_distill_handles_empty_report():
     payload = export_bench.distill({})
     assert payload["benchmarks"] == []
     assert payload["guards"] == {}
+    assert payload["obs"] == {}
     assert payload["sha"] is None
 
 
@@ -98,3 +99,34 @@ def test_distill_collects_dynamic_guards():
         "test_dynamic_events_per_sec.dynamic_drift": 0.01,
         "test_dynamic_tick_speedup.dynamic_tick_speedup": 18.0,
     }
+
+
+def test_distill_collects_obs_section():
+    timings = {"restrict": 0.01, "shard": 0.4, "final_solve": 0.02, "total": 0.5}
+    report = {
+        "benchmarks": [
+            {
+                "name": "test_tracing_overhead",
+                "stats": {"min": 0.5, "mean": 0.5, "rounds": 1},
+                "extra_info": {
+                    "obs_overhead": 0.012,
+                    "obs_overhead_disabled": 0.0003,
+                    "obs": timings,
+                },
+            },
+            {
+                "name": "test_swap_scan_speedup",
+                "stats": {"min": 0.001, "mean": 0.002, "rounds": 20},
+                "extra_info": {"speedup": 44.0},
+            },
+        ],
+    }
+    payload = export_bench.distill(report)
+    assert payload["guards"] == {
+        "test_tracing_overhead.obs_overhead": 0.012,
+        "test_tracing_overhead.obs_overhead_disabled": 0.0003,
+        "test_swap_scan_speedup.speedup": 44.0,
+    }
+    # The span-derived phase breakdown surfaces in its own section, keyed by
+    # benchmark, so trajectory tooling can chart where solve time goes.
+    assert payload["obs"] == {"test_tracing_overhead": timings}

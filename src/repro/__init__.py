@@ -124,6 +124,12 @@ from repro.metrics import (
     PatchedMetric,
     UniformRandomMetric,
 )
+from repro.obs import (
+    MetricsRegistry,
+    Stopwatch,
+    Trace,
+    get_registry,
+)
 from repro.serve import (
     CorpusSnapshot,
     PreparedCorpus,
@@ -197,6 +203,11 @@ __all__ = [
     "DistanceIncrease",
     "DistanceDecrease",
     "Environment",
+    # observability
+    "Trace",
+    "MetricsRegistry",
+    "get_registry",
+    "Stopwatch",
     # serving
     "PreparedCorpus",
     "Server",

@@ -35,6 +35,8 @@ from repro.core.checkpoint import SolveCheckpoint, universe_fingerprint
 from repro.core.objective import Objective
 from repro.core.result import SolverResult, build_result
 from repro.exceptions import InvalidParameterError
+from repro.obs.instrument import maybe_span, maybe_start_span
+from repro.obs.trace import Trace
 from repro.utils.deadline import Deadline, mark_interrupted
 from repro.utils.validation import check_cardinality
 
@@ -78,6 +80,7 @@ def greedy_diversify(
     checkpoint_every: Optional[int] = None,
     on_checkpoint: Optional[Callable[[SolveCheckpoint], None]] = None,
     resume_from: Optional[SolveCheckpoint] = None,
+    trace: Optional[Trace] = None,
 ) -> SolverResult:
     """Run Greedy B for the cardinality-constrained problem.
 
@@ -126,6 +129,10 @@ def greedy_diversify(
         as the selection prefix, after which the greedy continues normally.
         Greedy is deterministic given a prefix, so an interrupted-and-resumed
         run selects the same set as an uninterrupted one.
+    trace:
+        Optional :class:`~repro.obs.trace.Trace`: records a ``gain_state``
+        span (tracker / batched marginal-gain state construction) and a
+        ``greedy_rounds`` span carrying iteration and CELF evaluation counts.
 
     Returns
     -------
@@ -144,6 +151,7 @@ def greedy_diversify(
             checkpoint_every=checkpoint_every,
             on_checkpoint=on_checkpoint,
             resume_from=resume_from,
+            trace=trace,
         )
         return restriction.lift(result)
 
@@ -164,7 +172,8 @@ def greedy_diversify(
 
     selected: Set[Element] = set()
     order: List[Element] = []
-    tracker = objective.make_tracker()
+    with maybe_span(trace, "gain_state", kind="tracker"):
+        tracker = objective.make_tracker()
     remaining = set(range(n))
     iterations = 0
     interrupted = False
@@ -215,7 +224,8 @@ def greedy_diversify(
         # rebuilt every iteration from the exact tracker marginals; only the
         # quality term is ever stale.
         use_lazy = lazy if lazy is not None else quality.declares_submodular
-        state = objective.make_quality_state(selected)
+        with maybe_span(trace, "gain_state", kind="quality"):
+            state = objective.make_quality_state(selected)
         quality_gains = np.zeros(n, dtype=float)
         eval_iteration = np.full(n, 0, dtype=np.int64)
         margins = tracker.marginals_view()
@@ -224,6 +234,10 @@ def greedy_diversify(
         evaluations_after_first = 0
         candidates_after_first = 0
 
+    # Explicit-start span (the loop has `break` exits and the CELF counters
+    # only exist at the end); ``finish`` is idempotent, so the no-trace path
+    # costs one attribute check per solve.
+    rounds = maybe_start_span(trace, "greedy_rounds")
     while len(selected) < p and remaining and not interrupted:
         if deadline is not None and deadline.expired():
             interrupted = True
@@ -291,6 +305,11 @@ def greedy_diversify(
                     fingerprint=fingerprint,
                 )
             )
+
+    rounds.set(iterations=iterations, interrupted=interrupted)
+    if scaled_weights is None:
+        rounds.set(lazy=use_lazy, quality_evaluations=evaluations)
+    rounds.finish()
 
     metadata = {"start": start, "oblivious": oblivious, "p": p}
     if resume_from is not None:

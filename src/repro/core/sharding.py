@@ -70,6 +70,15 @@ from repro.exceptions import InvalidParameterError
 from repro.functions.base import SetFunction
 from repro.metrics.base import Metric
 from repro.metrics.matrix import DistanceMatrix
+from repro.obs.instrument import (
+    SHARD_FAILURES,
+    SOLVE_SECONDS,
+    SOLVES,
+    maybe_span,
+    maybe_start_span,
+    phase_timings,
+)
+from repro.obs.trace import SpanBundle, Trace
 from repro.utils.deadline import Deadline, mark_interrupted
 from repro.utils.timing import Stopwatch
 from repro.utils.validation import check_candidate_pool
@@ -163,10 +172,17 @@ def _materialize_objective(objective: Objective) -> Objective:
 
 def _solve_shard(
     payload: Tuple[
-        Objective, str, int, Optional[LocalSearchConfig], bool, Optional[Deadline]
+        Objective,
+        str,
+        int,
+        Optional[LocalSearchConfig],
+        bool,
+        Optional[Deadline],
+        int,
+        bool,
     ],
-) -> Tuple[List[Element], float]:
-    """Solve one shard sub-instance; returns (local winners, elapsed seconds).
+) -> Tuple[List[Element], SpanBundle]:
+    """Solve one shard sub-instance; returns (local winners, span bundle).
 
     Top-level so process pools can pickle it.  Materialization happens *here*
     rather than in the parent, so with a pool the block computations run in
@@ -175,22 +191,35 @@ def _solve_shard(
     deadline rides along in the payload: pickling re-anchors it with the
     parent's remaining budget, so even inside a process-pool worker the
     per-shard greedy stops cooperatively.
+
+    Timing and tracing share one code path: the worker records into its own
+    local :class:`~repro.obs.trace.Trace` (contextvars and pickled traces
+    cannot cross pool boundaries) and ships the bundle back with the result —
+    the bundle's root ``shard`` span *is* the shard's elapsed-seconds record,
+    and when the parent solve is traced (``payload[-1]``) the inner solve
+    phases ride along and are adopted into the parent trace.
     """
-    objective, algorithm, p, config, materialize, deadline = payload
+    objective, algorithm, p, config, materialize, deadline, index, traced = payload
     from repro.core.solver import _dispatch
 
-    started = time.perf_counter()
-    if materialize:
-        objective = _materialize_objective(objective)
-    result = _dispatch(
-        objective,
-        algorithm,
-        p=p,
-        matroid=None,
-        local_search_config=config,
-        deadline=deadline,
-    )
-    return sorted(result.selected), time.perf_counter() - started
+    worker_trace = Trace()
+    with worker_trace.span("shard", shard=index, size=objective.n) as handle:
+        if materialize:
+            with maybe_span(
+                worker_trace if traced else None, "materialize", shard=index
+            ):
+                objective = _materialize_objective(objective)
+        result = _dispatch(
+            objective,
+            algorithm,
+            p=p,
+            matroid=None,
+            local_search_config=config,
+            deadline=deadline,
+            trace=worker_trace if traced else None,
+        )
+        handle.set(selected=len(result.selected))
+    return sorted(result.selected), worker_trace.bundle()
 
 
 def solve_sharded(
@@ -216,6 +245,7 @@ def solve_sharded(
     checkpoint_every: Optional[int] = None,
     on_checkpoint: Optional[Callable[[SolveCheckpoint], None]] = None,
     resume_from: Optional[SolveCheckpoint] = None,
+    trace: Optional[Trace] = None,
 ) -> SolverResult:
     """Solve a huge cardinality-constrained instance via a sharded core-set.
 
@@ -287,6 +317,15 @@ def solve_sharded(
         partition* (shard layout is verified): already-solved shards are
         skipped and their recorded winners reused.  Ignored by the
         single-shard degenerate path.
+    trace:
+        Optional :class:`~repro.obs.trace.Trace`.  The pipeline records a
+        ``solve_sharded`` root span with ``restrict``, per-``shard`` and
+        ``final_solve`` children; pool workers trace locally and their spans
+        are adopted back with the shard results, and shards whose workers
+        timed out or crashed get a synthetic ``shard`` span whose ``status``
+        names the failure stage (``"worker_timeout"``/``"worker_crash"``/…)
+        so lost work is visible in the trace rather than silent.
+        ``metadata["timings"]`` gains the per-phase breakdown.
 
     Returns
     -------
@@ -350,6 +389,7 @@ def solve_sharded(
             candidates=user_pool,
             local_search_config=local_search_config,
             deadline_s=deadline,
+            trace=trace,
         )
         metadata = dict(result.metadata)
         metadata["sharding"] = {
@@ -401,6 +441,32 @@ def solve_sharded(
             for index, global_winners in resume_from.shard_winners.items()
         }
 
+    # Explicit-start root span: the pipeline below has several return points
+    # (empty core-set, normal) and the span must outlive them all; the
+    # ``finalize_trace`` helper closes it and derives ``metadata["timings"]``.
+    root = maybe_start_span(
+        trace,
+        "solve_sharded",
+        n=objective.n,
+        p=p,
+        shards=len(parts),
+        executor=executor,
+    )
+
+    def finalize_trace(metadata: dict, elapsed: float) -> None:
+        if SOLVES.enabled():
+            SOLVES.inc(path="sharded")
+            SOLVE_SECONDS.observe(elapsed, path="sharded")
+        if trace is None:
+            return
+        root.set(
+            core_size=metadata["sharding"]["core_size"],
+            degraded=degraded,
+            interrupted=interrupted,
+        )
+        root.finish()
+        metadata["timings"] = phase_timings(trace, root.id, total=elapsed)
+
     # Build the shard sub-instances (cheap: lazy metric slices + weight
     # slices), keeping the winners of shards no bigger than their quota
     # without solving at all, and skipping shards a resume checkpoint
@@ -409,34 +475,37 @@ def solve_sharded(
     payloads: List[Tuple[int, tuple]] = []
     winners: List[np.ndarray] = [np.zeros(0, dtype=int)] * len(parts)
     solved_mask = [False] * len(parts)
-    for index, shard in enumerate(parts):
-        if index in resumed:
-            winners[index] = resumed[index]
-            solved_mask[index] = True
-            restrictions.append(None)
-            continue
-        if shard.size <= keep:
-            winners[index] = shard
-            solved_mask[index] = True
-            restrictions.append(None)
-            continue
-        restriction = Restriction(
-            objective, shard, metric=_sub_metric(metric, shard, materialize=False)
-        )
-        restrictions.append(restriction)
-        payloads.append(
-            (
-                index,
-                (
-                    restriction.objective,
-                    shard_algorithm,
-                    keep,
-                    local_search_config,
-                    materialize_shards,
-                    deadline,
-                ),
+    with maybe_span(trace, "restrict", shards=len(parts)):
+        for index, shard in enumerate(parts):
+            if index in resumed:
+                winners[index] = resumed[index]
+                solved_mask[index] = True
+                restrictions.append(None)
+                continue
+            if shard.size <= keep:
+                winners[index] = shard
+                solved_mask[index] = True
+                restrictions.append(None)
+                continue
+            restriction = Restriction(
+                objective, shard, metric=_sub_metric(metric, shard, materialize=False)
             )
-        )
+            restrictions.append(restriction)
+            payloads.append(
+                (
+                    index,
+                    (
+                        restriction.objective,
+                        shard_algorithm,
+                        keep,
+                        local_search_config,
+                        materialize_shards,
+                        deadline,
+                        index,
+                        trace is not None,
+                    ),
+                )
+            )
 
     shard_watch = Stopwatch()
     failures: List[dict] = []
@@ -466,22 +535,39 @@ def solve_sharded(
         )
 
     def record_success(
-        index: int, local_winners: List[Element], elapsed: float
+        index: int, local_winners: List[Element], bundle: SpanBundle
     ) -> None:
         nonlocal completions
         restriction = restrictions[index]
         winners[index] = np.asarray(restriction.to_global(local_winners), dtype=int)
         solved_mask[index] = True
-        # Tolerant timing merge: only shards that actually finished report an
-        # elapsed time; lost workers simply contribute nothing here instead
-        # of poisoning the merged total.
-        shard_watch.add(elapsed)
+        # Tolerant timing merge: only shards that actually finished ship a
+        # span bundle back; lost workers simply contribute nothing here
+        # instead of poisoning the merged total.  The bundle's root span
+        # duration *is* the shard's elapsed time — span and stopwatch
+        # accounting share this one code path.
+        shard_watch.add(bundle.elapsed)
+        if trace is not None:
+            trace.adopt(bundle, parent_id=root.id)
         completions += 1
         if on_checkpoint is not None and completions % checkpoint_every == 0:
             emit_checkpoint()
 
     def record_failure(index: int, stage: str, error: BaseException) -> None:
         failures.append({"shard": index, "stage": stage, "error": repr(error)})
+        if SHARD_FAILURES.enabled():
+            SHARD_FAILURES.inc(stage=stage)
+        if trace is not None:
+            # A crashed or timed-out worker takes its locally recorded spans
+            # with it; record a synthetic zero-duration shard span so the
+            # loss is visible in the trace instead of silent.
+            trace.record_span(
+                "shard",
+                parent_id=root.id,
+                status=stage,
+                shard=index,
+                error=repr(error),
+            )
 
     def run_serial(tasks: List[Tuple[int, tuple]]) -> None:
         """In-process shard solves with bounded exponential-backoff retries."""
@@ -500,11 +586,11 @@ def solve_sharded(
                         )
                     )
                 try:
-                    local_winners, elapsed = _solve_shard(task)
+                    local_winners, bundle = _solve_shard(task)
                 except Exception as error:
                     last_error = error
                     continue
-                record_success(index, local_winners, elapsed)
+                record_success(index, local_winners, bundle)
                 last_error = None
                 break
             if last_error is not None:
@@ -559,7 +645,7 @@ def solve_sharded(
                     remaining = deadline.remaining()
                     budget = remaining if budget is None else min(budget, remaining)
                 try:
-                    local_winners, elapsed = future.result(timeout=budget)
+                    local_winners, bundle = future.result(timeout=budget)
                 except FutureTimeoutError as error:
                     abandoned = True
                     if deadline is not None and deadline.expired():
@@ -581,7 +667,7 @@ def solve_sharded(
                     record_failure(index, "worker", error)
                     fallback.append((index, task))
                 else:
-                    record_success(index, local_winners, elapsed)
+                    record_success(index, local_winners, bundle)
         finally:
             workers.shutdown(wait=False, cancel_futures=True)
         return fallback
@@ -642,48 +728,59 @@ def solve_sharded(
             metadata["degradation"] = "shard_map"
         if interrupted:
             mark_interrupted(metadata, deadline, "shard_map")
+        elapsed = time.perf_counter() - started
+        finalize_trace(metadata, elapsed)
         return build_result(
             objective,
             set(),
             [],
             algorithm=algorithm,
             iterations=0,
-            elapsed_seconds=time.perf_counter() - started,
+            elapsed_seconds=elapsed,
             metadata=metadata,
         )
 
     final_materialize = algorithm not in _LAZY_FRIENDLY_ALGORITHMS
-    final_restriction = Restriction(
-        objective, core, metric=_sub_metric(metric, core, final_materialize)
-    )
-    final_p = min(p, core.size)
-    if algorithm == "local_search":
-        # Seed the final search with the core-set greedy solution instead of
-        # the default best-pair basis: the shard stage already paid for good
-        # winners, and a bounded search budget should refine them, not
-        # rebuild from scratch.
-        from repro.core.greedy import greedy_diversify
-        from repro.core.local_search import local_search_diversify
-        from repro.matroids.uniform import UniformMatroid
+    with maybe_span(
+        trace, "final_solve", core=int(core.size), algorithm=algorithm
+    ):
+        final_restriction = Restriction(
+            objective, core, metric=_sub_metric(metric, core, final_materialize)
+        )
+        final_p = min(p, core.size)
+        if algorithm == "local_search":
+            # Seed the final search with the core-set greedy solution instead
+            # of the default best-pair basis: the shard stage already paid
+            # for good winners, and a bounded search budget should refine
+            # them, not rebuild from scratch.
+            from repro.core.greedy import greedy_diversify
+            from repro.core.local_search import local_search_diversify
+            from repro.matroids.uniform import UniformMatroid
 
-        seed = greedy_diversify(final_restriction.objective, final_p, deadline=deadline)
-        final = local_search_diversify(
-            final_restriction.objective,
-            UniformMatroid(final_restriction.n, final_p),
-            config=local_search_config,
-            initial=seed.selected,
-            deadline=deadline,
-        )
-    else:
-        final = _dispatch(
-            final_restriction.objective,
-            algorithm,
-            p=final_p,
-            matroid=None,
-            local_search_config=local_search_config,
-            deadline=deadline,
-        )
-    result = final_restriction.lift(final)
+            seed = greedy_diversify(
+                final_restriction.objective,
+                final_p,
+                deadline=deadline,
+                trace=trace,
+            )
+            final = local_search_diversify(
+                final_restriction.objective,
+                UniformMatroid(final_restriction.n, final_p),
+                config=local_search_config,
+                initial=seed.selected,
+                deadline=deadline,
+            )
+        else:
+            final = _dispatch(
+                final_restriction.objective,
+                algorithm,
+                p=final_p,
+                matroid=None,
+                local_search_config=local_search_config,
+                deadline=deadline,
+                trace=trace,
+            )
+        result = final_restriction.lift(final)
 
     metadata = dict(result.metadata)
     if user_pool is not None:
@@ -712,6 +809,8 @@ def solve_sharded(
         metadata["degradation"] = "shard_map"
     if interrupted:
         mark_interrupted(metadata, deadline, "shard_map")
+    elapsed = time.perf_counter() - started
+    finalize_trace(metadata, elapsed)
     return SolverResult(
         selected=result.selected,
         order=result.order,
@@ -720,6 +819,6 @@ def solve_sharded(
         dispersion_value=result.dispersion_value,
         algorithm=result.algorithm,
         iterations=result.iterations,
-        elapsed_seconds=time.perf_counter() - started,
+        elapsed_seconds=elapsed,
         metadata=metadata,
     )

@@ -8,6 +8,7 @@ appropriate algorithm and returns a :class:`~repro.core.result.SolverResult`.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Iterable, Optional, Union
 
 from repro._types import Element
@@ -24,6 +25,14 @@ from repro.functions.base import SetFunction
 from repro.matroids.base import Matroid
 from repro.matroids.uniform import UniformMatroid
 from repro.metrics.base import Metric
+from repro.obs.instrument import (
+    SOLVE_SECONDS,
+    SOLVES,
+    maybe_span,
+    maybe_start_span,
+    phase_timings,
+)
+from repro.obs.trace import Trace
 from repro.utils.deadline import Deadline
 
 #: Algorithms accepted by :func:`solve`.
@@ -57,6 +66,7 @@ def solve(
     checkpoint_every: Optional[int] = None,
     on_checkpoint: Optional[Callable[[SolveCheckpoint], None]] = None,
     resume_from: Optional[SolveCheckpoint] = None,
+    trace: Optional[Trace] = None,
 ) -> SolverResult:
     """Solve a max-sum diversification instance.
 
@@ -110,6 +120,14 @@ def solve(
         the solve replays it and continues.  Only the greedy and sharded
         paths support resuming — other algorithms raise
         :class:`~repro.exceptions.InvalidParameterError`.
+    trace:
+        Optional :class:`~repro.obs.trace.Trace`.  When given, the solve
+        records nested spans for its phases (restriction, gain-state build,
+        greedy rounds; per-shard solves and the final core-set stage on the
+        sharded path), ``result.metadata["timings"]`` carries the compact
+        per-phase breakdown, and ``trace.export(path)`` writes Chrome-trace
+        JSON viewable in Perfetto.  The default (``None``) keeps every
+        instrumented path at no-op cost.
 
     Returns
     -------
@@ -145,6 +163,7 @@ def solve(
             checkpoint_every=checkpoint_every,
             on_checkpoint=on_checkpoint,
             resume_from=resume_from,
+            trace=trace,
         )
 
     deadline = Deadline.coerce(deadline_s)
@@ -155,34 +174,54 @@ def solve(
             f"{objective.n}"
         )
 
-    if candidates is not None:
-        restriction = objective.restrict(candidates)
-        sub_matroid = (
-            matroid.restrict(restriction.candidates) if matroid is not None else None
-        )
-        result = _dispatch(
-            restriction.objective,
-            algorithm,
-            p=p,
-            matroid=sub_matroid,
-            local_search_config=local_search_config,
-            deadline=deadline,
-            checkpoint_every=checkpoint_every,
-            on_checkpoint=on_checkpoint,
-            resume_from=resume_from,
-        )
-        return restriction.lift(result)
-    return _dispatch(
-        objective,
-        algorithm,
-        p=p,
-        matroid=matroid,
-        local_search_config=local_search_config,
-        deadline=deadline,
-        checkpoint_every=checkpoint_every,
-        on_checkpoint=on_checkpoint,
-        resume_from=resume_from,
-    )
+    started = time.perf_counter()
+    root = maybe_start_span(trace, "solve", algorithm=algorithm, n=objective.n)
+    try:
+        if candidates is not None:
+            with maybe_span(trace, "restrict") as restrict_span:
+                restriction = objective.restrict(candidates)
+                restrict_span.set(pool=restriction.n)
+            sub_matroid = (
+                matroid.restrict(restriction.candidates)
+                if matroid is not None
+                else None
+            )
+            result = restriction.lift(
+                _dispatch(
+                    restriction.objective,
+                    algorithm,
+                    p=p,
+                    matroid=sub_matroid,
+                    local_search_config=local_search_config,
+                    deadline=deadline,
+                    checkpoint_every=checkpoint_every,
+                    on_checkpoint=on_checkpoint,
+                    resume_from=resume_from,
+                    trace=trace,
+                )
+            )
+        else:
+            result = _dispatch(
+                objective,
+                algorithm,
+                p=p,
+                matroid=matroid,
+                local_search_config=local_search_config,
+                deadline=deadline,
+                checkpoint_every=checkpoint_every,
+                on_checkpoint=on_checkpoint,
+                resume_from=resume_from,
+                trace=trace,
+            )
+    finally:
+        root.finish()
+    elapsed = time.perf_counter() - started
+    if trace is not None:
+        result.metadata["timings"] = phase_timings(trace, root.id, total=elapsed)
+    if SOLVES.enabled():
+        SOLVES.inc(path="plain")
+        SOLVE_SECONDS.observe(elapsed, path="plain")
+    return result
 
 
 def _dispatch(
@@ -196,6 +235,7 @@ def _dispatch(
     checkpoint_every: Optional[int] = None,
     on_checkpoint: Optional[Callable[[SolveCheckpoint], None]] = None,
     resume_from: Optional[SolveCheckpoint] = None,
+    trace: Optional[Trace] = None,
 ) -> SolverResult:
     """Run ``algorithm`` on an (already restricted) objective.
 
@@ -231,6 +271,7 @@ def _dispatch(
         checkpoint_every=checkpoint_every,
         on_checkpoint=on_checkpoint,
         resume_from=resume_from,
+        trace=trace,
     )
     if algorithm == "auto" or algorithm == "greedy":
         return greedy_diversify(objective, p, **greedy_kwargs)

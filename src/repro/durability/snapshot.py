@@ -27,11 +27,13 @@ import os
 import pickle
 import re
 import struct
+import time
 import warnings
 import zlib
 from typing import Any, List, Optional, Tuple
 
 from repro.exceptions import DurabilityError, DurabilityWarning
+from repro.obs.instrument import SNAPSHOT_WRITE_SECONDS
 
 __all__ = [
     "SNAPSHOT_MAGIC",
@@ -135,10 +137,14 @@ class SnapshotStore:
 
     def write(self, obj: Any) -> Tuple[int, str]:
         """Pickle ``obj`` into the next generation; returns ``(gen, path)``."""
+        metered = SNAPSHOT_WRITE_SECONDS.enabled()
+        started = time.perf_counter() if metered else 0.0
         existing = self.generations()
         generation = (existing[-1] + 1) if existing else 1
         path = self.path_for(generation)
         write_framed(path, pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+        if metered:
+            SNAPSHOT_WRITE_SECONDS.observe(time.perf_counter() - started)
         return generation, path
 
     def load(self, generation: int) -> Any:

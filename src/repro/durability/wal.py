@@ -45,6 +45,7 @@ from repro.exceptions import (
     InvalidParameterError,
     WalCorruptionError,
 )
+from repro.obs.instrument import WAL_APPEND_SECONDS, WAL_FSYNC_SECONDS
 
 __all__ = [
     "WAL_MAGIC",
@@ -132,6 +133,8 @@ class WriteAheadLog:
 
     def append(self, kind: int, seq: int, body: bytes) -> None:
         """Append one record and apply the fsync policy."""
+        metered = WAL_APPEND_SECONDS.enabled()
+        started = time.perf_counter() if metered else 0.0
         self._handle.write(_frame(kind, seq, body))
         if self._fsync == "always":
             self._sync_now()
@@ -141,6 +144,8 @@ class WriteAheadLog:
                 self._sync_now()
         else:
             self._handle.flush()
+        if metered:
+            WAL_APPEND_SECONDS.observe(time.perf_counter() - started)
 
     def sync(self) -> None:
         """Force an fsync regardless of policy (used for init/compaction)."""
@@ -158,8 +163,12 @@ class WriteAheadLog:
             self._handle.close()
 
     def _sync_now(self) -> None:
+        metered = WAL_FSYNC_SECONDS.enabled()
+        started = time.perf_counter() if metered else 0.0
         self._handle.flush()
         os.fsync(self._handle.fileno())
+        if metered:
+            WAL_FSYNC_SECONDS.observe(time.perf_counter() - started)
         self._last_sync = time.monotonic()
 
     def __enter__(self) -> "WriteAheadLog":

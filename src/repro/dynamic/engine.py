@@ -67,6 +67,7 @@ from repro.exceptions import InvalidParameterError, PerturbationError
 from repro.functions.modular import ModularFunction
 from repro.metrics.matrix import DistanceMatrix, GrowableDistanceMatrix
 from repro.metrics.validation import pair_triangle_violations
+from repro.obs.instrument import TICK_CERTIFICATES, maybe_span
 
 #: Default bound on the diagnostic (perturbation, outcome) history.  Long
 #: sessions at 10⁴+ events/sec would otherwise grow it without limit; pass
@@ -157,6 +158,12 @@ class DynamicDiversifier:
         scans it can prove would find nothing); the flag exists for
         benchmarks and equivalence tests.
     """
+
+    #: Optional :class:`~repro.obs.trace.Trace` receiving repair spans.  A
+    #: class attribute (not set in ``__init__``) so ``__new__``-based restore
+    #: paths — and snapshots written before the attribute existed — inherit
+    #: ``None`` without pickling concerns.
+    trace = None
 
     def __init__(
         self,
@@ -667,9 +674,15 @@ class DynamicDiversifier:
             batch, updates, auto_schedule, value_before, members0, w_members0
         )
         dirty = self._dirty_incoming(batch, inserted)
-        swaps, certified = self._repair(
-            planned, dirty, members0, w_members0, cert_margins0, batch.is_empty
-        )
+        with maybe_span(self.trace, "repair", planned=planned) as repair_span:
+            swaps, certified = self._repair(
+                planned, dirty, members0, w_members0, cert_margins0, batch.is_empty
+            )
+            repair_span.set(
+                certificate="hit" if certified else "miss", swaps=len(swaps)
+            )
+        if TICK_CERTIFICATES.enabled():
+            TICK_CERTIFICATES.inc(outcome="hit" if certified else "miss")
 
         metadata = {
             "planned_updates": planned,

@@ -34,6 +34,7 @@ until a later tick repairs the shard.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import (
     Callable,
@@ -71,11 +72,35 @@ from repro.functions.modular import ModularFunction
 from repro.metrics.base import Metric
 from repro.metrics.euclidean import EuclideanMetric
 from repro.metrics.overlay import PatchedMetric
+from repro.obs.instrument import (
+    TICK_SECONDS,
+    TICKS,
+    maybe_span,
+    maybe_start_span,
+    phase_timings,
+)
+from repro.obs.trace import Trace
 
 __all__ = ["DynamicSession", "SessionSnapshot", "ShardedDynamicEngine"]
 
 #: Default elements per shard for the sharded backend.
 DEFAULT_SHARD_SIZE = 2048
+
+
+def _annotate_tick(tick_span, outcome: UpdateOutcome) -> None:
+    """Copy a tick outcome's headline metadata onto its (open) span."""
+    if tick_span.id is None:
+        return
+    meta = outcome.metadata
+    if "certified_stable" in meta:
+        tick_span.set(certificate="hit" if meta["certified_stable"] else "miss")
+    if "dirty_shards" in meta:
+        tick_span.set(
+            dirty_shards=len(meta["dirty_shards"]),
+            core_resolved=bool(meta.get("core_resolved", False)),
+        )
+    if meta.get("degraded"):
+        tick_span.set(degraded=True)
 
 
 @dataclass(frozen=True)
@@ -149,6 +174,10 @@ class ShardedDynamicEngine:
     engine degraded — the same containment contract as
     :func:`~repro.core.sharding.solve_sharded`.
     """
+
+    #: Optional :class:`~repro.obs.trace.Trace` receiving repair spans.  A
+    #: class attribute so ``__new__``-based restore paths inherit ``None``.
+    trace = None
 
     def __init__(
         self,
@@ -419,7 +448,9 @@ class ShardedDynamicEngine:
                 for shard, winners in self._winners.items()
             }
 
-        core_resolved = self._repair(dirty, touched_members=touched_members)
+        with maybe_span(self.trace, "repair", dirty=len(dirty)) as repair_span:
+            core_resolved = self._repair(dirty, touched_members=touched_members)
+            repair_span.set(core_resolved=core_resolved, degraded=self._degraded)
         self._ticks += 1
         metadata = {
             "dirty_shards": tuple(sorted(dirty)),
@@ -507,7 +538,8 @@ class ShardedDynamicEngine:
                 continue
             previous = self._winners.get(shard)
             try:
-                winners = self._solve_shard(shard)
+                with maybe_span(self.trace, "repair.shard", shard=shard):
+                    winners = self._solve_shard(shard)
             except Exception as error:  # containment: keep stale winners
                 failed_shards.append(shard)
                 self._failures.append(
@@ -534,7 +566,8 @@ class ShardedDynamicEngine:
         if not needs_core:
             return False
         try:
-            self._solve_core()
+            with maybe_span(self.trace, "repair.core"):
+                self._solve_core()
             self._core_stale = False
         except Exception as error:
             self._failures.append(
@@ -703,7 +736,17 @@ class DynamicSession:
         snapshot generation (``keep_snapshots`` retained).  The directory
         must be fresh — recovering an existing journal is :meth:`recover`'s
         job, not the constructor's.
+    trace:
+        Optional :class:`~repro.obs.trace.Trace`.  Every tick records a
+        ``tick`` span with ``wal.journal`` / ``apply`` / ``repair`` children
+        (plus ``resolve_full`` / ``checkpoint`` / ``wal.compact`` when those
+        cadences fire), certificate and dirty-shard attributes, and a
+        compact ``outcome.metadata["timings"]`` breakdown.  ``None`` (the
+        default) keeps every tick at no-op instrumentation cost.
     """
+
+    #: Class attribute so ``__new__``-based restore paths inherit ``None``.
+    _trace = None
 
     def __init__(
         self,
@@ -729,6 +772,7 @@ class DynamicSession:
         fsync: str = "interval",
         snapshot_every: Optional[int] = None,
         keep_snapshots: int = 2,
+        trace: Optional[Trace] = None,
     ) -> None:
         if (distances is None) == (points is None):
             raise InvalidParameterError(
@@ -751,6 +795,7 @@ class DynamicSession:
         self._resolve_kwargs = dict(resolve_kwargs or {})
         self._ticks = 0
         self._durable = None
+        self._trace = trace
         self._dense: Optional[DynamicDiversifier] = None
         self._sharded: Optional[ShardedDynamicEngine] = None
         if distances is not None:
@@ -777,6 +822,7 @@ class DynamicSession:
                 per_shard_p=per_shard_p,
                 metric_factory=metric_factory,
             )
+        self.engine.trace = trace
         if durable_dir is not None:
             from repro.durability.recovery import DurableStore
 
@@ -869,45 +915,110 @@ class DynamicSession:
         would have reached — invalid ticks included, since the backends
         reject those deterministically both live and on replay.
         """
-        if self._durable is not None:
-            self._durable.journal(batch, kwargs)
-        if self._dense is not None:
-            outcome = self._dense.apply_events(batch, **kwargs)
-        else:
-            outcome = self._sharded.apply_events(batch, **kwargs)
-        self._ticks += 1
-        if (
-            self._resolve_every is not None
-            and self._sharded is not None
-            and self._ticks % self._resolve_every == 0
-        ):
-            self._sharded.resolve_full(adopt=True, **self._resolve_kwargs)
-        if (
-            self._on_checkpoint is not None
-            and self._ticks % self._checkpoint_every == 0
-        ):
-            self._on_checkpoint(self.snapshot())
-        if self._durable is not None:
-            self._durable.maybe_compact(self)
+        trace = self._trace
+        metered = TICKS.enabled()
+        started = time.perf_counter()
+        tick_span = maybe_start_span(
+            trace,
+            "tick",
+            tick=self._ticks,
+            backend=self.mode,
+            num_events=batch.num_events,
+        )
+        try:
+            if self._durable is not None:
+                journal_started = time.perf_counter()
+                with maybe_span(trace, "wal.journal"):
+                    self._durable.journal(batch, kwargs)
+                if metered:
+                    TICK_SECONDS.observe(
+                        time.perf_counter() - journal_started, phase="journal"
+                    )
+            apply_started = time.perf_counter()
+            with maybe_span(trace, "apply"):
+                if self._dense is not None:
+                    outcome = self._dense.apply_events(batch, **kwargs)
+                else:
+                    outcome = self._sharded.apply_events(batch, **kwargs)
+            if metered:
+                TICK_SECONDS.observe(
+                    time.perf_counter() - apply_started, phase="apply"
+                )
+            self._ticks += 1
+            if (
+                self._resolve_every is not None
+                and self._sharded is not None
+                and self._ticks % self._resolve_every == 0
+            ):
+                with maybe_span(trace, "resolve_full"):
+                    self._sharded.resolve_full(adopt=True, **self._resolve_kwargs)
+            if (
+                self._on_checkpoint is not None
+                and self._ticks % self._checkpoint_every == 0
+            ):
+                with maybe_span(trace, "checkpoint"):
+                    self._on_checkpoint(self.snapshot())
+            if self._durable is not None:
+                with maybe_span(trace, "wal.compact"):
+                    self._durable.maybe_compact(self)
+            _annotate_tick(tick_span, outcome)
+        finally:
+            tick_span.finish()
+        if metered:
+            TICKS.inc(backend=self.mode)
+        if trace is not None:
+            outcome.metadata["timings"] = phase_timings(
+                trace, tick_span.id, total=time.perf_counter() - started
+            )
         return outcome
 
     def apply(self, perturbation: Perturbation, **kwargs) -> UpdateOutcome:
         """Apply a single Section 6 perturbation (dense semantics when dense;
         routed through a one-event batch on the sharded backend)."""
         if self._dense is not None:
-            if self._durable is not None:
-                self._durable.journal(
-                    EventBatch.from_perturbations([perturbation]), kwargs
+            trace = self._trace
+            metered = TICKS.enabled()
+            started = time.perf_counter()
+            tick_span = maybe_start_span(
+                trace, "tick", tick=self._ticks, backend=self.mode, num_events=1
+            )
+            try:
+                if self._durable is not None:
+                    journal_started = time.perf_counter()
+                    with maybe_span(trace, "wal.journal"):
+                        self._durable.journal(
+                            EventBatch.from_perturbations([perturbation]), kwargs
+                        )
+                    if metered:
+                        TICK_SECONDS.observe(
+                            time.perf_counter() - journal_started, phase="journal"
+                        )
+                apply_started = time.perf_counter()
+                with maybe_span(trace, "apply"):
+                    outcome = self._dense.apply(perturbation, **kwargs)
+                if metered:
+                    TICK_SECONDS.observe(
+                        time.perf_counter() - apply_started, phase="apply"
+                    )
+                self._ticks += 1
+                if (
+                    self._on_checkpoint is not None
+                    and self._ticks % self._checkpoint_every == 0
+                ):
+                    with maybe_span(trace, "checkpoint"):
+                        self._on_checkpoint(self.snapshot())
+                if self._durable is not None:
+                    with maybe_span(trace, "wal.compact"):
+                        self._durable.maybe_compact(self)
+                _annotate_tick(tick_span, outcome)
+            finally:
+                tick_span.finish()
+            if metered:
+                TICKS.inc(backend=self.mode)
+            if trace is not None:
+                outcome.metadata["timings"] = phase_timings(
+                    trace, tick_span.id, total=time.perf_counter() - started
                 )
-            outcome = self._dense.apply(perturbation, **kwargs)
-            self._ticks += 1
-            if (
-                self._on_checkpoint is not None
-                and self._ticks % self._checkpoint_every == 0
-            ):
-                self._on_checkpoint(self.snapshot())
-            if self._durable is not None:
-                self._durable.maybe_compact(self)
             return outcome
         return self.apply_events(
             EventBatch.from_perturbations([perturbation]), **kwargs
@@ -962,6 +1073,7 @@ class DynamicSession:
             session._checkpoint_every = 1
         session._resolve_every = session_kwargs.pop("resolve_every", None)
         session._resolve_kwargs = dict(session_kwargs.pop("resolve_kwargs", None) or {})
+        session._trace = session_kwargs.pop("trace", None)
         if session_kwargs:
             raise InvalidParameterError(
                 f"unknown restore options: {sorted(session_kwargs)}"
@@ -982,6 +1094,7 @@ class DynamicSession:
                 f"restore expects an EngineSnapshot or SessionSnapshot, "
                 f"got {type(snapshot).__name__}"
             )
+        session.engine.trace = session._trace
         return session
 
     # ------------------------------------------------------------------

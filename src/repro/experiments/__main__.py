@@ -78,8 +78,10 @@ def _run_coreset(quick: bool) -> str:
     return coreset_module.coreset(**kwargs).render()
 
 
-def _run_serve(quick: bool) -> str:
-    kwargs = QUICK_OVERRIDES["serve"] if quick else {}
+def _run_serve(quick: bool, trace_path=None) -> str:
+    kwargs = dict(QUICK_OVERRIDES["serve"]) if quick else {}
+    if trace_path is not None:
+        kwargs["trace_path"] = trace_path
     return serve_module.serve(**kwargs).render()
 
 
@@ -118,7 +120,16 @@ def main(argv=None) -> int:
         action="store_true",
         help="use scaled-down parameters (seconds, not minutes)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write Chrome-trace JSON of the run's spans to PATH "
+        "(serve target only; open in chrome://tracing or Perfetto)",
+    )
     args = parser.parse_args(argv)
+    if args.trace is not None and args.target != "serve":
+        parser.error("--trace is supported by the serve target only")
 
     targets = (
         [f"table{i}" for i in range(1, 9)]
@@ -136,7 +147,7 @@ def main(argv=None) -> int:
         elif target == "coreset":
             print(_run_coreset(args.quick))
         elif target == "serve":
-            print(_run_serve(args.quick))
+            print(_run_serve(args.quick, trace_path=args.trace))
         else:
             print(_run_table(target, args.quick))
         print()

@@ -71,6 +71,7 @@ def serve(
     shard_size: Optional[int] = None,
     max_pending: Optional[int] = None,
     durable_snapshot: bool = False,
+    trace_path: Optional[str] = None,
     seed: SeedLike = 0,
 ) -> TableResult:
     """Benchmark the serving tier under concurrent client load.
@@ -105,6 +106,11 @@ def serve(
         (``PreparedCorpus.save(durable=True)`` → ``PreparedCorpus.load``)
         before the server starts — the handoff a serving process restarting
         after a crash performs.
+    trace_path:
+        When given, the run records per-window spans
+        (:class:`~repro.obs.trace.Trace`) and writes Chrome-trace JSON there
+        — open it in ``chrome://tracing`` or Perfetto.  This is what
+        ``python -m repro.experiments serve --trace out.json`` passes.
     seed:
         Load-generator seed.
     """
@@ -146,12 +152,19 @@ def serve(
                 )
         pools.append(client_pools)
 
+    trace = None
+    if trace_path is not None:
+        from repro.obs.trace import Trace
+
+        trace = Trace()
+
     async def run() -> dict:
         async with Server(
             corpus,
             max_batch_size=max_batch_size,
             max_wait_s=max_wait_s,
             max_pending=max_pending,
+            trace=trace,
         ) as server:
             completed = await _drive_load(
                 server,
@@ -165,6 +178,8 @@ def serve(
         return stats
 
     stats = asyncio.run(run())
+    if trace is not None:
+        trace.export(trace_path)
     cache = corpus.cache_info()
     lookups = cache["hits"] + cache["misses"]
 

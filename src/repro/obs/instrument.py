@@ -1,0 +1,157 @@
+"""Wiring between the observability primitives and the solve stack.
+
+Two things live here: (1) the *helpers* the instrumented modules call —
+:func:`maybe_span` (a span when a trace is active, a shared no-op when not)
+and :func:`phase_timings` (the compact ``metadata["timings"]`` breakdown) —
+and (2) the *default-registry instruments* those modules share, declared
+once so the WAL, the dynamic session and the server agree on metric names
+without importing each other.
+
+The default registry starts disabled, so every instrument below is a no-op
+(boolean check, no lock) until a process opts in::
+
+    from repro.obs import get_registry
+    get_registry().enable()
+    ...
+    print(get_registry().render())   # Prometheus text exposition
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import NULL_HANDLE, SpanHandle, Trace
+
+__all__ = [
+    "maybe_span",
+    "maybe_start_span",
+    "phase_timings",
+    "SHARD_FAILURES",
+    "SOLVES",
+    "SOLVE_SECONDS",
+    "SERVE_PENDING",
+    "SERVE_REQUESTS",
+    "SNAPSHOT_WRITE_SECONDS",
+    "TICKS",
+    "TICK_CERTIFICATES",
+    "TICK_SECONDS",
+    "WAL_APPEND_SECONDS",
+    "WAL_FSYNC_SECONDS",
+]
+
+
+@contextmanager
+def maybe_span(
+    trace: Optional[Trace], name: str, **attrs: object
+) -> Iterator[SpanHandle]:
+    """``trace.span(...)`` when tracing is on, a shared no-op handle when off.
+
+    The disabled path is one ``None`` check plus building the ``attrs``
+    dict, so call sites should keep attribute expressions cheap (or attach
+    them post-hoc via ``handle.set`` only when ``handle.id is not None``).
+    """
+    if trace is None:
+        yield NULL_HANDLE
+        return
+    with trace.span(name, **attrs) as handle:
+        yield handle
+
+
+def maybe_start_span(
+    trace: Optional[Trace], name: str, **attrs: object
+) -> SpanHandle:
+    """Explicit-start variant for regions with multiple exit points.
+
+    Returns the shared no-op handle when tracing is off; otherwise an open
+    :class:`~repro.obs.trace.SpanHandle` the caller must ``finish()``
+    (idempotent, so ``finally: handle.finish()`` is safe everywhere).
+    """
+    if trace is None:
+        return NULL_HANDLE
+    return trace.start_span(name, **attrs)
+
+
+def phase_timings(
+    trace: Trace,
+    root_id: Optional[int],
+    *,
+    total: Optional[float] = None,
+) -> Dict[str, float]:
+    """Seconds per phase under ``root_id``, as a plain metadata-ready dict.
+
+    This is the compact ``SolverResult.metadata["timings"]`` payload: span
+    names map to their summed durations within the solve's subtree (shards
+    aggregate into one ``"shard"`` entry, greedy rounds into one
+    ``"greedy_rounds"`` entry, …).  ``total`` adds the enclosing wall time —
+    passed explicitly because the root span is usually still open when the
+    result metadata is assembled.
+    """
+    timings = {
+        name: round(seconds, 6)
+        for name, seconds in sorted(trace.aggregate(root_id).items())
+    }
+    if total is not None:
+        timings["total"] = round(total, 6)
+    return timings
+
+
+# --------------------------------------------------------------------------
+# Default-registry instruments, shared across the stack.  Names follow the
+# Prometheus convention: `repro_` prefix, `_total` counters, `_seconds`
+# timings.  All are inert until `get_registry().enable()`.
+# --------------------------------------------------------------------------
+
+SOLVES = REGISTRY.counter(
+    "repro_solve_total",
+    help="Completed solves by entry path (plain, sharded, window).",
+    labelnames=("path",),
+)
+SOLVE_SECONDS = REGISTRY.histogram(
+    "repro_solve_seconds",
+    help="End-to-end solve wall time by entry path.",
+    labelnames=("path",),
+)
+SHARD_FAILURES = REGISTRY.counter(
+    "repro_shard_failures_total",
+    help="Shard-map failures by stage (worker, worker_timeout, worker_crash, "
+    "serial).",
+    labelnames=("stage",),
+)
+TICKS = REGISTRY.counter(
+    "repro_ticks_total",
+    help="Dynamic-session ticks applied, by backend (dense, sharded).",
+    labelnames=("backend",),
+)
+TICK_SECONDS = REGISTRY.histogram(
+    "repro_tick_seconds",
+    help="Dynamic tick phase timings (journal, apply).",
+    labelnames=("phase",),
+)
+TICK_CERTIFICATES = REGISTRY.counter(
+    "repro_tick_certificate_total",
+    help="Dense-tick no-swap certificate outcomes (hit = repair skipped).",
+    labelnames=("outcome",),
+)
+WAL_APPEND_SECONDS = REGISTRY.histogram(
+    "repro_wal_append_seconds",
+    help="Write-ahead-log append latency (frame encode + write).",
+)
+WAL_FSYNC_SECONDS = REGISTRY.histogram(
+    "repro_wal_fsync_seconds",
+    help="Write-ahead-log fsync latency (flush + os.fsync).",
+)
+SNAPSHOT_WRITE_SECONDS = REGISTRY.histogram(
+    "repro_snapshot_write_seconds",
+    help="Atomic snapshot write latency (serialize + fsync + rename).",
+)
+SERVE_REQUESTS = REGISTRY.counter(
+    "repro_serve_requests_total",
+    help="Serving requests by outcome (completed, failed, cancelled, shed).",
+    labelnames=("outcome",),
+)
+SERVE_PENDING = REGISTRY.gauge(
+    "repro_serve_pending",
+    help="Requests admitted but not yet completed.",
+)

@@ -32,8 +32,6 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Union
 
-import numpy as np
-
 from repro._types import Element
 from repro.core.local_search import LocalSearchConfig
 from repro.core.result import SolverResult
@@ -43,23 +41,45 @@ from repro.exceptions import (
     ServerOverloadedError,
 )
 from repro.matroids.base import Matroid
+from repro.obs.instrument import (
+    SERVE_PENDING,
+    SERVE_REQUESTS,
+    maybe_span,
+    maybe_start_span,
+)
+from repro.obs.metrics import Histogram
+from repro.obs.trace import Trace
 from repro.serve.corpus import PreparedCorpus, ServeQuery
 from repro.utils.deadline import Deadline
 
 __all__ = ["Server", "ServerStats"]
 
-#: Latency samples kept for the rolling percentile window.
+#: Latency samples kept for the rolling diagnostic sample (the percentiles
+#: themselves come from the histograms, never from sorting this list).
 _LATENCY_WINDOW = 8192
+
+
+def _latency_histogram(name: str) -> Histogram:
+    # Standalone (registry=None ⇒ always on): the histograms live and die
+    # with their ServerStats, so there is no process-wide opt-in to gate on.
+    return Histogram(name)
 
 
 @dataclass
 class ServerStats:
     """Rolling serving statistics, updated by the server.
 
-    ``snapshot()`` distills them into the dict the CLI target and the load
-    benchmark report: completed/cancelled/failed counts, windows executed,
-    mean window size, sustained QPS since start, and p50/p99 latency over the
-    last :data:`_LATENCY_WINDOW` completed requests.
+    Latency percentiles are histogram-backed: ``record_latency`` is an O(1)
+    bucket increment and ``snapshot()`` reads cumulative bucket counts —
+    the previous implementation sorted the full 8192-sample ring on every
+    snapshot.  The ring itself (``latencies``) is retained as a bounded raw
+    sample for diagnostics and tests.
+
+    ``snapshot()`` distills everything into the dict the CLI target and the
+    load benchmark report: completed/cancelled/failed/shed counts, windows
+    executed, mean window size, sustained QPS since start, and
+    histogram-estimated p50/p99 for request latency, queue wait and
+    off-loop execute time.
     """
 
     submitted: int = 0
@@ -71,8 +91,21 @@ class ServerStats:
     batched_requests: int = 0
     started_at: Optional[float] = None
     latencies: List[float] = field(default_factory=list)
+    latency: Histogram = field(
+        default_factory=lambda: _latency_histogram("serve_request_seconds")
+    )
+    queue_wait: Histogram = field(
+        default_factory=lambda: _latency_histogram("serve_queue_wait_seconds")
+    )
+    execute: Histogram = field(
+        default_factory=lambda: _latency_histogram("serve_execute_seconds")
+    )
+    deadline_slack: Histogram = field(
+        default_factory=lambda: _latency_histogram("serve_deadline_slack_seconds")
+    )
 
     def record_latency(self, seconds: float) -> None:
+        self.latency.observe(seconds)
         self.latencies.append(seconds)
         if len(self.latencies) > _LATENCY_WINDOW:
             del self.latencies[: -_LATENCY_WINDOW]
@@ -80,12 +113,6 @@ class ServerStats:
     def snapshot(self) -> Dict[str, float]:
         elapsed = (
             time.monotonic() - self.started_at if self.started_at is not None else 0.0
-        )
-        sample = np.asarray(self.latencies, dtype=float)
-        p50, p99 = (
-            (float(np.percentile(sample, 50)), float(np.percentile(sample, 99)))
-            if sample.size
-            else (0.0, 0.0)
         )
         return {
             "submitted": self.submitted,
@@ -99,8 +126,12 @@ class ServerStats:
             ),
             "elapsed_s": elapsed,
             "qps": self.completed / elapsed if elapsed > 0 else 0.0,
-            "p50_ms": p50 * 1000.0,
-            "p99_ms": p99 * 1000.0,
+            "p50_ms": self.latency.quantile(0.5) * 1000.0,
+            "p99_ms": self.latency.quantile(0.99) * 1000.0,
+            "queue_wait_p50_ms": self.queue_wait.quantile(0.5) * 1000.0,
+            "queue_wait_p99_ms": self.queue_wait.quantile(0.99) * 1000.0,
+            "execute_p50_ms": self.execute.quantile(0.5) * 1000.0,
+            "execute_p99_ms": self.execute.quantile(0.99) * 1000.0,
         }
 
 
@@ -157,6 +188,13 @@ class Server:
         windows on.  Default: one owned single-thread executor — windows
         then execute strictly in order, which keeps even oracle-backed
         corpora safe without thread-safety promises.
+    trace:
+        Optional :class:`~repro.obs.trace.Trace`.  Each executed window
+        records a root ``window`` span with a synthetic ``queue_wait`` child
+        (mean/max seat wait of the window's requests) and an ``execute``
+        child recorded *on the worker thread* (re-parented explicitly, since
+        contextvars do not cross ``run_in_executor``).  Default ``None``:
+        no-op cost.
 
     Use as an async context manager (``async with Server(corpus) as server``)
     or call :meth:`start` / :meth:`stop` explicitly.
@@ -172,6 +210,7 @@ class Server:
         window_deadline_s: Optional[float] = None,
         max_pending: Optional[int] = None,
         executor: Optional[ThreadPoolExecutor] = None,
+        trace: Optional[Trace] = None,
     ) -> None:
         if max_batch_size < 1:
             raise InvalidParameterError("max_batch_size must be at least 1")
@@ -185,6 +224,7 @@ class Server:
         self._default_deadline_s = default_deadline_s
         self._window_deadline_s = window_deadline_s
         self._max_pending = None if max_pending is None else int(max_pending)
+        self._trace = trace
         self._executor = executor
         self._own_executor = executor is None
         self._queue: Optional["asyncio.Queue[_Request]"] = None
@@ -323,17 +363,30 @@ class Server:
             self._queue.put_nowait(request)
         except asyncio.QueueFull:
             self.stats.shed += 1
+            if SERVE_REQUESTS.enabled():
+                SERVE_REQUESTS.inc(outcome="shed")
             raise ServerOverloadedError(
                 f"server is overloaded: {self._max_pending} requests already "
                 "pending (max_pending); retry later or raise the bound"
             ) from None
+        if SERVE_PENDING.enabled():
+            SERVE_PENDING.inc()
         try:
             result = await request.future
         except asyncio.CancelledError:
             request.cancelled.set()
             self.stats.cancelled += 1
+            if SERVE_REQUESTS.enabled():
+                SERVE_REQUESTS.inc(outcome="cancelled")
             raise
+        finally:
+            if SERVE_PENDING.enabled():
+                SERVE_PENDING.dec()
         self.stats.record_latency(time.monotonic() - request.submitted_at)
+        if request.query.deadline is not None:
+            self.stats.deadline_slack.observe(
+                max(0.0, request.query.deadline.remaining())
+            )
         return result
 
     # ------------------------------------------------------------------
@@ -364,6 +417,7 @@ class Server:
 
     async def _run(self) -> None:
         loop = asyncio.get_running_loop()
+        trace = self._trace
         while True:
             window = await self._gather_window()
             live = [request for request in window if not request.abandoned()]
@@ -375,17 +429,41 @@ class Server:
             def skip(index: int, requests: List[_Request] = live) -> bool:
                 return requests[index].cancelled.is_set()
 
-            window_deadline = self._window_deadline()
-            try:
-                outcomes = await loop.run_in_executor(
-                    self._executor,
-                    lambda: self._corpus.solve_window(
-                        queries, deadline=window_deadline, skip=skip
-                    ),
+            window_span = maybe_start_span(
+                trace, "window", parent_id=None, size=len(live)
+            )
+            if trace is not None:
+                now = time.monotonic()
+                waits = [now - request.submitted_at for request in live]
+                trace.record_span(
+                    "queue_wait",
+                    parent_id=window_span.id,
+                    duration_s=sum(waits) / len(waits),
+                    max_s=round(max(waits), 6),
                 )
+            for request in live:
+                self.stats.queue_wait.observe(
+                    time.monotonic() - request.submitted_at
+                )
+
+            window_deadline = self._window_deadline()
+            window_parent = window_span.id
+            execute_started = time.monotonic()
+
+            def run_window():
+                # On the executor thread: contextvars from the loop do not
+                # follow, so the execute span re-parents explicitly.
+                with maybe_span(trace, "execute", parent_id=window_parent):
+                    return self._corpus.solve_window(
+                        queries, deadline=window_deadline, skip=skip
+                    )
+
+            try:
+                outcomes = await loop.run_in_executor(self._executor, run_window)
             except asyncio.CancelledError:
                 # stop() cancelled us mid-window; the in-flight requests are
                 # failed closed by stop() itself.
+                window_span.finish(status="cancelled")
                 raise
             except Exception as error:  # pragma: no cover - defensive
                 # A window-level failure (not a per-query one, those are
@@ -395,10 +473,16 @@ class Server:
                     if not request.future.done():
                         request.future.set_exception(error)
                         self.stats.failed += 1
+                        if SERVE_REQUESTS.enabled():
+                            SERVE_REQUESTS.inc(outcome="failed")
                 self._inflight = []
+                window_span.set(error=repr(error))
+                window_span.finish(status="error")
                 continue
+            self.stats.execute.observe(time.monotonic() - execute_started)
             self.stats.windows += 1
             self.stats.batched_requests += len(live)
+            delivered = failed = 0
             for request, outcome in zip(live, outcomes):
                 if request.future.done() or request.future.cancelled():
                     continue
@@ -410,10 +494,18 @@ class Server:
                 if isinstance(outcome, Exception):
                     request.future.set_exception(outcome)
                     self.stats.failed += 1
+                    failed += 1
+                    if SERVE_REQUESTS.enabled():
+                        SERVE_REQUESTS.inc(outcome="failed")
                 else:
                     request.future.set_result(outcome)
                     self.stats.completed += 1
+                    delivered += 1
+                    if SERVE_REQUESTS.enabled():
+                        SERVE_REQUESTS.inc(outcome="completed")
             self._inflight = []
+            window_span.set(completed=delivered, failed=failed)
+            window_span.finish()
 
     # ------------------------------------------------------------------
     # Deadlines shared by a window

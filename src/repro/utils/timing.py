@@ -1,102 +1,14 @@
-"""Wall-clock timing helpers used by the experiment harness.
+"""Wall-clock timing helpers (compatibility shim).
 
-The paper reports elapsed milliseconds for Greedy A, Greedy B and the limited
-local search; these helpers provide the equivalent measurements for our
-implementations.
-
-Pool-worker safety
-------------------
-The sharded core-set solver (:mod:`repro.core.sharding`) fans work out to
-thread and process pools.  :class:`Stopwatch` supports both patterns:
-
-* **Threads** — :meth:`measure` accumulates under a lock, so one stopwatch
-  shared by many worker threads records the true total.
-* **Processes** — a stopwatch pickled into a worker is an *independent copy*
-  (no state is shared across process boundaries, so nothing can silently
-  diverge); workers time locally with :func:`timed` or their own stopwatch
-  and the parent folds the reported durations back in with :meth:`add` /
-  :meth:`merge`.
+The timing primitives moved into the span layer — :mod:`repro.obs.trace` —
+when the observability subsystem unified shard-worker time accounting:
+:class:`~repro.obs.trace.Stopwatch` and a worker's span bundle now use the
+same ship-it-back pattern, so there is one code path for both.  This module
+re-exports them so existing imports (and pickles) keep working.
 """
 
 from __future__ import annotations
 
-import threading
-import time
-from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Callable, Iterator, Tuple, TypeVar
+from repro.obs.trace import Stopwatch, timed
 
-T = TypeVar("T")
-
-
-@dataclass
-class Stopwatch:
-    """Accumulating stopwatch with millisecond reporting.
-
-    Example
-    -------
-    >>> watch = Stopwatch()
-    >>> with watch.measure():
-    ...     _ = sum(range(1000))
-    >>> watch.elapsed_ms >= 0.0
-    True
-    """
-
-    elapsed_seconds: float = field(default=0.0)
-
-    def __post_init__(self) -> None:
-        self._lock = threading.Lock()
-
-    @contextmanager
-    def measure(self) -> Iterator[None]:
-        """Context manager adding the block's duration to the total.
-
-        Thread-safe: concurrent ``measure`` blocks from pool workers all land
-        in the total without losing updates to the read-modify-write race.
-        """
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.add(time.perf_counter() - start)
-
-    def add(self, seconds: float) -> None:
-        """Fold an externally measured duration into the total.
-
-        This is the process-pool pattern: workers report their own elapsed
-        seconds (mutating a pickled stopwatch copy would be lost with the
-        worker) and the parent accumulates them here.
-        """
-        with self._lock:
-            self.elapsed_seconds += seconds
-
-    def merge(self, other: "Stopwatch") -> None:
-        """Fold another stopwatch's total into this one."""
-        self.add(other.elapsed_seconds)
-
-    @property
-    def elapsed_ms(self) -> float:
-        """Total elapsed time in milliseconds."""
-        return self.elapsed_seconds * 1000.0
-
-    def reset(self) -> None:
-        """Zero the accumulated time."""
-        with self._lock:
-            self.elapsed_seconds = 0.0
-
-    # Locks cannot cross process boundaries; drop the lock when pickling into
-    # a pool worker and recreate a fresh one on arrival.  The copy is fully
-    # independent of the parent stopwatch by construction.
-    def __getstate__(self) -> dict:
-        return {"elapsed_seconds": self.elapsed_seconds}
-
-    def __setstate__(self, state: dict) -> None:
-        self.elapsed_seconds = state["elapsed_seconds"]
-        self._lock = threading.Lock()
-
-
-def timed(func: Callable[[], T]) -> Tuple[T, float]:
-    """Run ``func`` and return ``(result, elapsed_seconds)``."""
-    start = time.perf_counter()
-    result = func()
-    return result, time.perf_counter() - start
+__all__ = ["Stopwatch", "timed"]

@@ -42,6 +42,7 @@ from repro.functions.log_det import LogDeterminantFunction
 from repro.functions.modular import ModularFunction
 from repro.matroids.uniform import UniformMatroid
 from repro.metrics.euclidean import EuclideanMetric
+from repro.obs.trace import Trace
 from repro.testing.faults import (
     CrashingMetric,
     CrashingSetFunction,
@@ -300,6 +301,41 @@ class TestShardRecovery:
         stages = {f["stage"] for f in result.metadata["sharding"]["failures"]}
         assert "worker_crash" in stages or "worker" in stages
         assert result.metadata["sharding"]["failed_shards"] == []
+
+    def test_killed_worker_records_crash_span(self, instance):
+        """A SIGKILLed worker's spans die with it — the trace must not lose
+        the shard silently: the parent records a synthetic ``shard`` span
+        whose status names the failure stage (``worker_crash``)."""
+        quality, metric = instance
+        faulty = WorkerKillingMetric(metric)
+        trace = Trace()
+        result = solve_sharded(
+            quality,
+            faulty,
+            tradeoff=0.8,
+            p=5,
+            shards=4,
+            max_workers=2,
+            executor="process",
+            trace=trace,
+        )
+        assert result.metadata["degraded"] is True
+        root = next(s for s in trace.spans() if s.name == "solve_sharded")
+        shard_spans = [s for s in trace.spans() if s.name == "shard"]
+        # Every failure in the metadata has a matching synthetic span,
+        # parented to the solve root and carrying the stage as its status.
+        failures = result.metadata["sharding"]["failures"]
+        crash_spans = [s for s in shard_spans if s.status != "ok"]
+        assert len(crash_spans) >= len(failures) > 0
+        statuses = {s.status for s in crash_spans}
+        assert statuses & {"worker_crash", "worker"}
+        for span in crash_spans:
+            assert span.parent_id == root.span_id
+            assert "error" in span.attrs and "shard" in span.attrs
+        # The serial fallback re-solved every shard in-process, so the trace
+        # also holds the successful shard spans shipped back via bundles.
+        ok_spans = [s for s in shard_spans if s.status == "ok"]
+        assert len(ok_spans) == 4
 
     def test_shard_timeout_degrades_to_serial(self, instance):
         quality, metric = instance
